@@ -1,0 +1,24 @@
+package grove_test
+
+import (
+	"grove/internal/graph"
+	"grove/internal/mine"
+)
+
+// minedFragments runs the gSpan-style miner + gIndex discriminative
+// selection over a training sample, as the Figs. 10–11 benchmarks need.
+func minedFragments(sample []*graph.Record) ([]mine.Fragment, error) {
+	minSup := len(sample) / 20
+	if minSup < 2 {
+		minSup = 2
+	}
+	frags, err := mine.MineFrequent(sample, mine.Config{
+		MinSupport:   minSup,
+		MaxEdges:     4,
+		MaxFragments: 50000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mine.SelectDiscriminative(frags, len(sample), 1.5), nil
+}

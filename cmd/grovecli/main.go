@@ -1,0 +1,328 @@
+// Command grovecli opens a saved grove store and runs ad-hoc inspections and
+// queries against it.
+//
+// Usage:
+//
+//	grovecli -store /tmp/ny info
+//	grovecli -store /tmp/ny match n1 n2 n13          # path containment query
+//	grovecli -store /tmp/ny agg SUM n1 n2 n13        # path aggregation
+//	grovecli -store /tmp/ny avg n1 n2 n13            # algebraic AVG along a path
+//	grovecli -store /tmp/ny summary SUM n1 n2 n13    # consolidated statistics
+//	grovecli -store /tmp/ny views                    # list materialized views
+//	grovecli -store /tmp/ny addview myview n1 n2 n13 # materialize a graph view
+//	grovecli -store /tmp/ny addagg myagg SUM n1 n2 n13
+//	grovecli -store /tmp/ny tag 17 type fast-track   # tag a record
+//	grovecli -store /tmp/ny q "[n1,n2] AND NOT [n3,n4]"  # text query language
+//	grovecli -store /tmp/ny q "SUM [n1,n2,n13]"
+//	grovecli -store /tmp/ny advise workload.grq 20   # propose views for a workload
+//
+// Mutating commands (addview, addagg, tag) re-save the store before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"grove"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory written by groveload or Store.Save (required)")
+	limit := flag.Int("limit", 10, "max records to print for match/agg")
+	flag.Parse()
+
+	if *store == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	st, err := grove.LoadStore(*store)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	switch cmd := args[0]; cmd {
+	case "info":
+		info(st)
+	case "match":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("match needs at least 2 node names"))
+		}
+		match(st, args[1:], *limit)
+	case "agg":
+		if len(args) < 4 {
+			fatal(fmt.Errorf("agg needs a function and at least 2 node names"))
+		}
+		aggregate(st, args[1], args[2:], *limit)
+	case "views":
+		listViews(st)
+	case "addview":
+		if len(args) < 4 {
+			fatal(fmt.Errorf("addview needs a name and at least 2 node names"))
+		}
+		addView(st, *store, args[1], args[2:])
+	case "addagg":
+		if len(args) < 5 {
+			fatal(fmt.Errorf("addagg needs a name, a function and at least 2 node names"))
+		}
+		addAggView(st, *store, args[1], args[2], args[3:])
+	case "avg":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("avg needs at least 2 node names"))
+		}
+		average(st, args[1:], *limit)
+	case "summary":
+		if len(args) < 4 {
+			fatal(fmt.Errorf("summary needs a function and at least 2 node names"))
+		}
+		summary(st, args[1], args[2:])
+	case "tag":
+		if len(args) != 4 {
+			fatal(fmt.Errorf("tag needs a record id, a key and a value"))
+		}
+		tagRecord(st, *store, args[1], args[2], args[3])
+	case "q":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("q needs one quoted statement"))
+		}
+		textQuery(st, args[1], *limit)
+	case "explain":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("explain needs at least 2 node names"))
+		}
+		explain(st, args[1:])
+	case "advise":
+		if len(args) != 3 {
+			fatal(fmt.Errorf("advise needs a workload file and a budget k"))
+		}
+		advise(st, args[1], args[2])
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|advise|views|addview|addagg|tag> [args]")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grovecli:", err)
+	os.Exit(1)
+}
+
+func info(st *grove.Store) {
+	s := st.Stats()
+	fmt.Printf("records:         %d (%d deleted)\n", s.Records, s.Deleted)
+	fmt.Printf("distinct edges:  %d over %d partition(s)\n", s.DistinctEdges, s.Partitions)
+	fmt.Printf("measures:        %d values", s.TotalMeasures)
+	if len(s.MeasureNames) > 0 {
+		fmt.Printf(" (named: %s)", strings.Join(s.MeasureNames, " "))
+	}
+	fmt.Println()
+	fmt.Printf("payload bytes:   %d base + %d views\n", s.BaseSizeBytes, s.ViewSizeBytes)
+	fmt.Printf("graph views:     %d  %s\n", s.GraphViews, strings.Join(st.ViewNames(), " "))
+	fmt.Printf("aggregate views: %d  %s\n", s.AggregateViews, strings.Join(st.AggViewNames(), " "))
+	if len(s.TagKeys) > 0 {
+		fmt.Printf("tag keys:        %s\n", strings.Join(s.TagKeys, " "))
+	}
+}
+
+func match(st *grove.Store, nodes []string, limit int) {
+	res, err := st.MatchPath(nodes...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matched %d records (plan: %d bitmap columns)\n",
+		res.NumRecords(), res.Plan.NumBitmaps())
+	n := 0
+	res.Answer.Each(func(rec uint32) bool {
+		fmt.Printf("  record %d\n", rec)
+		n++
+		return n < limit
+	})
+}
+
+func aggregate(st *grove.Store, fname string, nodes []string, limit int) {
+	f, ok := aggByName(fname)
+	if !ok {
+		fatal(fmt.Errorf("unknown aggregate function %q (SUM|MIN|MAX|COUNT)", fname))
+	}
+	res, err := st.AggregatePath(f, nodes...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matched %d records along %d path(s)\n", len(res.RecordIDs), len(res.Paths))
+	for i, rec := range res.RecordIDs {
+		if i >= limit {
+			fmt.Printf("  ... %d more\n", len(res.RecordIDs)-limit)
+			break
+		}
+		v := res.Values[0][i]
+		if math.IsNaN(v) {
+			fmt.Printf("  record %d: NULL\n", rec)
+		} else {
+			fmt.Printf("  record %d: %s = %.3f\n", rec, f.Name, v)
+		}
+	}
+}
+
+func aggByName(name string) (grove.AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return grove.Sum, true
+	case "MIN":
+		return grove.Min, true
+	case "MAX":
+		return grove.Max, true
+	case "COUNT":
+		return grove.Count, true
+	}
+	return grove.AggFunc{}, false
+}
+
+func average(st *grove.Store, nodes []string, limit int) {
+	ids, avgs, err := st.AveragePath(nodes...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matched %d records\n", len(ids))
+	for i, rec := range ids {
+		if i >= limit {
+			fmt.Printf("  ... %d more\n", len(ids)-limit)
+			break
+		}
+		if math.IsNaN(avgs[i]) {
+			fmt.Printf("  record %d: NULL\n", rec)
+		} else {
+			fmt.Printf("  record %d: AVG = %.3f\n", rec, avgs[i])
+		}
+	}
+}
+
+func summary(st *grove.Store, fname string, nodes []string) {
+	f, ok := aggByName(fname)
+	if !ok {
+		fatal(fmt.Errorf("unknown aggregate function %q", fname))
+	}
+	res, err := st.AggregatePath(f, nodes...)
+	if err != nil {
+		fatal(err)
+	}
+	s := grove.Summarize(res.FoldAcrossPaths())
+	fmt.Printf("records: %d\n", s.Count)
+	fmt.Printf("%s sum=%.3f mean=%.3f stddev=%.3f min=%.3f max=%.3f\n",
+		f.Name, s.Sum, s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+func advise(st *grove.Store, workloadFile, kStr string) {
+	var k int
+	if _, err := fmt.Sscanf(kStr, "%d", &k); err != nil || k <= 0 {
+		fatal(fmt.Errorf("bad budget %q", kStr))
+	}
+	f, err := os.Open(workloadFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	workload, err := grove.ParseWorkload(f)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := st.AdviseGraphViews(workload, k, grove.AdvisorOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	st.RenderAdvice(os.Stdout, rep)
+}
+
+func explain(st *grove.Store, nodes []string) {
+	ex, err := st.Explain(grove.PathOf(nodes...).ToGraph())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ex.String())
+}
+
+func textQuery(st *grove.Store, text string, limit int) {
+	res, err := st.Query(text)
+	if err != nil {
+		fatal(err)
+	}
+	if res.IDs != nil {
+		fmt.Printf("matched %d records\n", res.IDs.Cardinality())
+		n := 0
+		res.IDs.Each(func(rec uint32) bool {
+			fmt.Printf("  record %d\n", rec)
+			n++
+			return n < limit
+		})
+		return
+	}
+	agg := res.Agg
+	fmt.Printf("matched %d records along %d path(s)\n", len(agg.RecordIDs), len(agg.Paths))
+	for i, rec := range agg.RecordIDs {
+		if i >= limit {
+			fmt.Printf("  ... %d more\n", len(agg.RecordIDs)-limit)
+			break
+		}
+		v := agg.Values[0][i]
+		if math.IsNaN(v) {
+			fmt.Printf("  record %d: NULL\n", rec)
+		} else {
+			fmt.Printf("  record %d: %.3f\n", rec, v)
+		}
+	}
+}
+
+func tagRecord(st *grove.Store, dir, recStr, key, value string) {
+	var rec uint32
+	if _, err := fmt.Sscanf(recStr, "%d", &rec); err != nil {
+		fatal(fmt.Errorf("bad record id %q", recStr))
+	}
+	if err := st.Tag(rec, key, value); err != nil {
+		fatal(err)
+	}
+	if err := st.Save(dir); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tagged record %d with %s=%s\n", rec, key, value)
+}
+
+func listViews(st *grove.Store) {
+	fmt.Println("graph views:")
+	for _, v := range st.ViewNames() {
+		fmt.Printf("  %s\n", v)
+	}
+	fmt.Println("aggregate views:")
+	for _, v := range st.AggViewNames() {
+		fmt.Printf("  %s\n", v)
+	}
+}
+
+func addView(st *grove.Store, dir, name string, nodes []string) {
+	if err := st.MaterializeView(name, grove.PathOf(nodes...).ToGraph()); err != nil {
+		fatal(err)
+	}
+	if err := st.Save(dir); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("materialized graph view %s over path %v\n", name, nodes)
+}
+
+func addAggView(st *grove.Store, dir, name, fname string, nodes []string) {
+	f, ok := aggByName(fname)
+	if !ok {
+		fatal(fmt.Errorf("unknown aggregate function %q", fname))
+	}
+	if err := st.MaterializeAggViewPath(name, f, nodes...); err != nil {
+		fatal(err)
+	}
+	if err := st.Save(dir); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("materialized aggregate view %s (%s) over path %v\n", name, f.Name, nodes)
+}

@@ -1,0 +1,3 @@
+module grove
+
+go 1.22

@@ -1,0 +1,614 @@
+// Package grove is a storage and analytics engine for massive collections of
+// small graph records, reproducing "Graph Analytics on Massive Collections
+// of Small Graphs" (Bleco & Kotidis, EDBT 2014).
+//
+// A grove Store keeps every graph record flattened into a column-oriented
+// master relation: one measure column and one compressed bitmap column per
+// named edge. Graph queries — themselves graphs — are answered by ANDing
+// bitmap columns; path-aggregation queries fold measures along the maximal
+// paths of the query graph. Materialized graph views (precomputed bitmap
+// conjunctions) and aggregate graph views (pre-aggregated path measures) are
+// selected with a greedy set-cover advisor and transparently reused by the
+// query rewriter.
+//
+// Quick start:
+//
+//	st := grove.Open()
+//	rec := grove.NewRecord()
+//	rec.SetEdge("A", "D", 3.5) // shipping leg A→D took 3.5h
+//	st.Add(rec)
+//
+//	res, _ := st.MatchPath("A", "D")      // records routed via A→D
+//	agg, _ := st.AggregatePath(grove.Sum, "A", "D", "E") // total time per record
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package grove
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"grove/internal/bitmap"
+	"grove/internal/colstore"
+	"grove/internal/gpath"
+	"grove/internal/graph"
+	"grove/internal/query"
+	"grove/internal/view"
+)
+
+// Re-exported building blocks. Aliases keep the public API a single import
+// while the implementation stays in internal packages.
+type (
+	// Record is one graph record: a directed graph whose nodes and edges
+	// carry measures.
+	Record = graph.Record
+	// Graph is a bare directed graph, used as a query body.
+	Graph = graph.Graph
+	// EdgeKey names a structural element; nodes are the self-edge [X,X].
+	EdgeKey = graph.EdgeKey
+	// Path is an (optionally open-ended) node sequence.
+	Path = gpath.Path
+	// AggFunc is a distributive aggregate function for path aggregation.
+	AggFunc = query.AggFunc
+	// Result is a graph query answer.
+	Result = query.Result
+	// AggResult is a path-aggregation answer.
+	AggResult = query.AggResult
+	// IOStats is the I/O accounting snapshot of the underlying column store.
+	IOStats = colstore.Stats
+	// Bitmap is a compressed record-id set.
+	Bitmap = bitmap.Bitmap
+)
+
+// Aggregate functions.
+var (
+	Sum   = query.Sum
+	Min   = query.Min
+	Max   = query.Max
+	Count = query.Count
+)
+
+// NewRecord returns an empty graph record.
+func NewRecord() *Record { return graph.NewRecord() }
+
+// NewGraph returns an empty query graph.
+func NewGraph() *Graph { return graph.NewGraph() }
+
+// PathOf builds a closed path over the given nodes.
+func PathOf(nodes ...string) Path { return gpath.Closed(nodes...) }
+
+// OpenPath builds a fully open path (endpoint node measures excluded).
+func OpenPath(nodes ...string) Path { return gpath.Open(nodes...) }
+
+// FlattenSequence converts a visit sequence with per-leg measures into an
+// acyclic record (revisited nodes get occurrence aliases).
+func FlattenSequence(stops []string, legMeasures []float64) (*Record, error) {
+	return graph.FlattenSequence(stops, legMeasures)
+}
+
+// Store is a collection of graph records with bitmap indexes and
+// materialized graph views. It is not safe for concurrent mutation;
+// concurrent readers are safe between mutations.
+type Store struct {
+	rel *colstore.Relation
+	reg *graph.Registry
+	eng *query.Engine
+}
+
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	partitionWidth int
+}
+
+// WithPartitionWidth overrides the vertical partition width (the maximum
+// number of edge columns per sub-relation; default 1000).
+func WithPartitionWidth(w int) Option {
+	return func(o *options) { o.partitionWidth = w }
+}
+
+// Open creates an empty store.
+func Open(opts ...Option) *Store {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rel := colstore.NewRelation(o.partitionWidth)
+	reg := graph.NewRegistry()
+	return &Store{rel: rel, reg: reg, eng: query.NewEngine(rel, reg)}
+}
+
+// Add appends a record, returning its record id. Cyclic records are
+// flattened to DAGs first.
+func (s *Store) Add(rec *Record) uint32 {
+	return graph.LoadRecord(s.rel, s.reg, rec)
+}
+
+// GetRecord reconstructs a stored record from the master relation's columns:
+// its structural elements from the bitmap columns and its measures (default
+// and named) from the measure columns. Aliased nodes from DAG flattening
+// (A#2) appear under their aliases.
+func (s *Store) GetRecord(id uint32) (*Record, error) {
+	if int(id) >= s.rel.NumRecords() {
+		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.rel.NumRecords())
+	}
+	rec := graph.NewRecord()
+	names := s.rel.MeasureNames()
+	for eid := colstore.EdgeID(0); int(eid) < s.reg.Len(); eid++ {
+		b := s.rel.EdgeBitmap(eid)
+		if b == nil || !b.Contains(id) {
+			continue
+		}
+		k, _ := s.reg.Key(eid)
+		if col := s.rel.MeasureColumn(eid); col != nil {
+			if v, ok := col.Get(id); ok {
+				if err := rec.SetElement(k, v); err != nil {
+					return nil, err
+				}
+			} else {
+				rec.AddBareElement(k)
+			}
+		} else {
+			rec.AddBareElement(k)
+		}
+		for _, name := range names {
+			if col := s.rel.MeasureColumnNamed(eid, name); col != nil {
+				if v, ok := col.Get(id); ok {
+					if err := rec.SetElementNamed(k, name, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return rec, nil
+}
+
+// WriteDOT renders a graph (and optionally a record's measures) in Graphviz
+// DOT format.
+func WriteDOT(w io.Writer, name string, g *Graph, rec *Record) error {
+	return graph.WriteDOT(w, name, g, rec)
+}
+
+// Delete soft-deletes a record: it disappears from every subsequent query
+// answer (the columns keep its values; the record id is masked out). Returns
+// whether the record was live.
+func (s *Store) Delete(rec uint32) (bool, error) { return s.rel.Delete(rec) }
+
+// Undelete restores a soft-deleted record.
+func (s *Store) Undelete(rec uint32) bool { return s.rel.Undelete(rec) }
+
+// NumDeleted returns the number of soft-deleted records.
+func (s *Store) NumDeleted() int { return s.rel.NumDeleted() }
+
+// NumRecords returns the number of stored records.
+func (s *Store) NumRecords() int { return s.rel.NumRecords() }
+
+// NumEdges returns the size of the edge-id universe seen so far.
+func (s *Store) NumEdges() int { return s.reg.Len() }
+
+// SizeBytes returns the in-memory payload size (base columns + views).
+func (s *Store) SizeBytes() int64 { return s.rel.SizeBytes() }
+
+// StoreStats summarizes a store, Table 2 style.
+type StoreStats struct {
+	Records        int
+	Deleted        int
+	DistinctEdges  int
+	TotalMeasures  int64
+	MeasureNames   []string
+	BaseSizeBytes  int64
+	ViewSizeBytes  int64
+	GraphViews     int
+	AggregateViews int
+	Partitions     int
+	TagKeys        []string
+}
+
+// Stats returns the store's summary statistics.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Records:        s.rel.NumRecords(),
+		Deleted:        s.rel.NumDeleted(),
+		DistinctEdges:  s.reg.Len(),
+		TotalMeasures:  s.rel.TotalMeasures(),
+		MeasureNames:   s.rel.MeasureNames(),
+		BaseSizeBytes:  s.rel.BaseSizeBytes(),
+		ViewSizeBytes:  s.rel.ViewSizeBytes(),
+		GraphViews:     len(s.rel.Views()),
+		AggregateViews: len(s.rel.AggViews()),
+		Partitions:     s.rel.NumPartitions(),
+		TagKeys:        s.rel.TagKeys(),
+	}
+}
+
+// Optimize recompresses all bitmap columns; call after bulk loading.
+func (s *Store) Optimize() { s.rel.RunOptimize() }
+
+// SetUseViews toggles view-aware query rewriting (on by default).
+func (s *Store) SetUseViews(use bool) { s.eng.UseViews = use }
+
+// EnableResultCache attaches a bounded structural-answer cache to the store
+// (capacity ≤ 0 selects a default). Any mutation — Add, Delete, Tag, view
+// materialization — invalidates it wholesale, so cached answers are always
+// exact. Pass enable=false to detach.
+func (s *Store) EnableResultCache(enable bool, capacity int) {
+	if enable {
+		s.eng.EnableCache(query.NewResultCache(capacity))
+	} else {
+		s.eng.EnableCache(nil)
+	}
+}
+
+// Match answers a graph query: the records containing the query graph.
+func (s *Store) Match(g *Graph) (*Result, error) {
+	return s.eng.ExecuteGraphQuery(query.NewGraphQuery(g))
+}
+
+// MatchPath answers a single-path graph query over the given nodes.
+func (s *Store) MatchPath(nodes ...string) (*Result, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("grove: a path query needs at least 2 nodes")
+	}
+	return s.Match(PathOf(nodes...).ToGraph())
+}
+
+// Aggregate answers a path-aggregation query: it matches g and folds f along
+// every maximal path of g for every matching record.
+func (s *Store) Aggregate(g *Graph, f AggFunc) (*AggResult, error) {
+	return s.eng.ExecutePathAggQuery(query.NewPathAggQuery(g, f))
+}
+
+// AggregatePath aggregates f along the single path over the given nodes.
+func (s *Store) AggregatePath(f AggFunc, nodes ...string) (*AggResult, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
+	}
+	return s.Aggregate(PathOf(nodes...).ToGraph(), f)
+}
+
+// AggregateMeasure is Aggregate over a named measure — e.g. fold "cost"
+// instead of the default measure when records carry several measures per
+// element (§3.1).
+func (s *Store) AggregateMeasure(g *Graph, f AggFunc, measure string) (*AggResult, error) {
+	return s.eng.ExecutePathAggQuery(query.NewPathAggQueryOn(g, f, measure))
+}
+
+// AggregatePathMeasure aggregates a named measure along a single path.
+func (s *Store) AggregatePathMeasure(f AggFunc, measure string, nodes ...string) (*AggResult, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
+	}
+	return s.AggregateMeasure(PathOf(nodes...).ToGraph(), f, measure)
+}
+
+// AggregateAlong aggregates f along one explicit path, honouring open
+// endpoints: an open end excludes that endpoint node's own measure (§3.3's
+// interval semantics, e.g. (D,E,G) for "from departure at D to arrival at
+// G"). measure selects the measure ("" = default).
+func (s *Store) AggregateAlong(f AggFunc, p Path, measure string) (*AggResult, error) {
+	if len(p.Nodes) < 2 {
+		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
+	}
+	return s.eng.ExecutePathAggQuery(query.NewPathAggQueryAlong(p, f, measure))
+}
+
+// MeasureNames lists the named measures stored (the default measure is
+// always present and unnamed).
+func (s *Store) MeasureNames() []string { return s.rel.MeasureNames() }
+
+// Expr is a boolean combination of graph queries.
+type Expr = query.Expr
+
+// Q wraps a query graph as an expression leaf.
+func Q(g *Graph) Expr { return query.Leaf{Q: query.NewGraphQuery(g)} }
+
+// QPath wraps a path query as an expression leaf.
+func QPath(nodes ...string) Expr { return Q(PathOf(nodes...).ToGraph()) }
+
+// And intersects the answer sets of the operands.
+func And(operands ...Expr) Expr { return query.And{Operands: operands} }
+
+// Or unions the answer sets of the operands.
+func Or(operands ...Expr) Expr { return query.Or{Operands: operands} }
+
+// AndNot returns records matching a but not b.
+func AndNot(a, b Expr) Expr { return query.Diff{A: a, B: b} }
+
+// Eval evaluates a boolean combination of graph queries, returning the
+// matching record ids.
+func (s *Store) Eval(e Expr) (*Bitmap, error) { return s.eng.EvalExpr(e) }
+
+// LeafGraphs returns the query graphs at the leaves of a boolean expression,
+// in syntactic order — the unit a view-advisor workload is built from.
+func LeafGraphs(e Expr) []*Graph {
+	switch x := e.(type) {
+	case query.Leaf:
+		return []*Graph{x.Q.G}
+	case query.And:
+		var out []*Graph
+		for _, op := range x.Operands {
+			out = append(out, LeafGraphs(op)...)
+		}
+		return out
+	case query.Or:
+		var out []*Graph
+		for _, op := range x.Operands {
+			out = append(out, LeafGraphs(op)...)
+		}
+		return out
+	case query.Diff:
+		return append(LeafGraphs(x.A), LeafGraphs(x.B)...)
+	default:
+		return nil
+	}
+}
+
+// ParseWorkload parses a newline-separated list of query statements (the
+// text query language; '#' starts a comment line) into the query graphs of a
+// view-advisor workload. Aggregation statements contribute their path
+// graphs; boolean statements contribute every leaf.
+func ParseWorkload(r io.Reader) ([]*Graph, error) {
+	var out []*Graph
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		stmt, err := query.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("grove: workload line %d: %w", line, err)
+		}
+		if stmt.Agg != nil {
+			out = append(out, stmt.Agg.G)
+		} else {
+			out = append(out, LeafGraphs(stmt.Expr)...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Explanation describes a query's execution plan without running it.
+type Explanation = query.Explanation
+
+// Explain computes the execution plan (rewriting outcome, bitmap cost,
+// partition span) for a graph query without executing it.
+func (s *Store) Explain(g *Graph) (Explanation, error) {
+	return s.eng.ExplainGraph(g)
+}
+
+// QueryResult is the answer of a textual Query: exactly one of IDs (boolean
+// structural query) or Agg (path aggregation) is set.
+type QueryResult struct {
+	IDs *Bitmap
+	Agg *AggResult
+}
+
+// Query parses and executes one statement of grove's text query language:
+//
+//	[A,D,E] AND NOT [C,H]      boolean combination of path queries
+//	SUM [A,D,E,G,I]            path aggregation (SUM|MIN|MAX|COUNT)
+//	MAX<cost> [C,H]            aggregation over a named measure
+//
+// Keywords are case-insensitive; parentheses group.
+func (s *Store) Query(text string) (*QueryResult, error) {
+	stmt, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Agg != nil {
+		res, err := s.eng.ExecutePathAggQuery(stmt.Agg)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Agg: res}, nil
+	}
+	ids, err := s.eng.EvalExpr(stmt.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{IDs: ids}, nil
+}
+
+// PathsThrough returns the composite path [Src(g),Src(region)) ⋈
+// [Src(region),Ter(region)] ⋈ (Ter(region),Ter(g)] — every maximal path of
+// the query graph g that traverses the region (§3.3). With visitAll, only
+// paths visiting every region node are kept.
+func PathsThrough(g, region *Graph, visitAll bool) ([]Path, error) {
+	var opts []gpath.RegionOption
+	if visitAll {
+		opts = append(opts, gpath.VisitAllRegionNodes())
+	}
+	comp, err := gpath.PathsThrough(g, region, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return comp.Paths, nil
+}
+
+// Coalesce returns a copy of g with the region's nodes collapsed into a
+// single aggregate node (the zoom-out operator motivating aggregate views,
+// §2): internal region edges are hidden, boundary edges are redirected.
+func Coalesce(g, region *Graph, aggNode string) (*Graph, error) {
+	return gpath.Coalesce(g, region, aggNode)
+}
+
+// --- record metadata --------------------------------------------------------
+
+// Tag attaches a key=value metadata tag to a record (§3.1: metadata links
+// sub-orders, carries order types, etc.). Tags are indexed as bitmap columns,
+// so they combine with structural answers at bitmap speed.
+func (s *Store) Tag(rec uint32, key, value string) error {
+	return s.rel.Tag(rec, key, value)
+}
+
+// TaggedWith returns the records tagged key=value.
+func (s *Store) TaggedWith(key, value string) *Bitmap {
+	return s.rel.FetchTagBitmap(key, value)
+}
+
+// MatchTagged answers a graph query restricted to records carrying all the
+// given tags.
+func (s *Store) MatchTagged(g *Graph, tags map[string]string) (*Bitmap, error) {
+	res, err := s.Match(g)
+	if err != nil {
+		return nil, err
+	}
+	answer := res.Answer
+	for k, v := range tags {
+		answer = answer.And(s.rel.FetchTagBitmap(k, v))
+	}
+	return answer, nil
+}
+
+// --- materialized views -------------------------------------------------------
+
+// AdvisorOptions tunes view selection.
+type AdvisorOptions struct {
+	// MinSup ≥ 2 switches candidate generation to the a-priori
+	// frequent-itemset formulation with that minimum support; below 2 the
+	// exhaustive intersection-closure generator is used.
+	MinSup int
+}
+
+// AdvisorReport describes a proposed view selection: per-view usage and the
+// workload's bitmap cost before/after rewriting.
+type AdvisorReport = view.SelectionReport
+
+// AdviseGraphViews runs view selection for the workload WITHOUT
+// materializing anything, returning a report of what the advisor would
+// build and what it would save.
+func (s *Store) AdviseGraphViews(workload []*Graph, k int, opts AdvisorOptions) (AdvisorReport, error) {
+	adv := &view.Advisor{Rel: s.rel, Reg: s.reg, MinSup: opts.MinSup}
+	selected, err := adv.SelectGraphViews(workload, k)
+	if err != nil {
+		return AdvisorReport{}, err
+	}
+	return view.Report(selected, adv.WorkloadEdgeSets(workload)), nil
+}
+
+// RenderAdvice writes an AdvisorReport with edge ids resolved back to their
+// element names.
+func (s *Store) RenderAdvice(w io.Writer, rep AdvisorReport) {
+	rep.Render(w, func(es view.EdgeSet) string {
+		parts := make([]string, 0, len(es))
+		for _, id := range es {
+			if k, ok := s.reg.Key(id); ok {
+				parts = append(parts, k.String())
+			}
+		}
+		return strings.Join(parts, " ")
+	})
+}
+
+// MaterializeGraphViews selects (greedy set cover over the workload) and
+// materializes up to k graph views, returning their names.
+func (s *Store) MaterializeGraphViews(workload []*Graph, k int, opts AdvisorOptions) ([]string, error) {
+	adv := &view.Advisor{Rel: s.rel, Reg: s.reg, MinSup: opts.MinSup}
+	return adv.MaterializeGraphViews(workload, k)
+}
+
+// MaterializeAggViews selects and materializes up to k aggregate graph views
+// for aggregate function f, returning their names.
+func (s *Store) MaterializeAggViews(workload []*Graph, f AggFunc, k int, opts AdvisorOptions) ([]string, error) {
+	adv := &view.Advisor{Rel: s.rel, Reg: s.reg, MinSup: opts.MinSup}
+	return adv.MaterializeAggViews(workload, f, k)
+}
+
+// MaterializeView materializes one graph view over the given edges by name.
+func (s *Store) MaterializeView(name string, g *Graph) error {
+	_, err := s.rel.MaterializeView(name, s.reg.GraphIDs(g))
+	return err
+}
+
+// MaterializeAggViewPath materializes one aggregate view for f along the
+// closed path over the given nodes (default measure).
+func (s *Store) MaterializeAggViewPath(name string, f AggFunc, nodes ...string) error {
+	return s.MaterializeAggViewPathMeasure(name, f, "", nodes...)
+}
+
+// MaterializeAggViewPathMeasure materializes one aggregate view for f over a
+// named measure along the closed path over the given nodes.
+func (s *Store) MaterializeAggViewPathMeasure(name string, f AggFunc, measure string, nodes ...string) error {
+	p := PathOf(nodes...)
+	edges := make([]colstore.EdgeID, 0, p.Len())
+	for _, k := range p.Edges() {
+		edges = append(edges, s.reg.ID(k))
+	}
+	_, err := s.rel.MaterializeAggViewOn(name, edges, f, measure)
+	return err
+}
+
+// ClusterColumns recomputes the vertical-partition assignment of the master
+// relation's columns around a query workload (the §6.1 clustering
+// extension), so that records touched by workload queries are reassembled
+// from fewer sub-relations.
+func (s *Store) ClusterColumns(workload []*Graph) error {
+	queries := make([][]colstore.EdgeID, len(workload))
+	for i, g := range workload {
+		queries[i] = s.reg.GraphIDs(g)
+	}
+	_, err := s.rel.ClusterPartitions(queries)
+	return err
+}
+
+// DropAllViews removes every materialized view.
+func (s *Store) DropAllViews() { s.rel.DropAllViews() }
+
+// ViewNames lists materialized graph views.
+func (s *Store) ViewNames() []string {
+	views := s.rel.Views()
+	out := make([]string, len(views))
+	for i, v := range views {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// AggViewNames lists materialized aggregate views.
+func (s *Store) AggViewNames() []string {
+	views := s.rel.AggViews()
+	out := make([]string, len(views))
+	for i, v := range views {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// --- persistence & accounting --------------------------------------------------
+
+// Save writes the store (columns, views, registry) to a directory.
+func (s *Store) Save(dir string) error {
+	if err := s.rel.Save(dir); err != nil {
+		return err
+	}
+	return s.reg.Save(dir + "/registry.json")
+}
+
+// LoadStore reads a store previously written with Save.
+func LoadStore(dir string) (*Store, error) {
+	rel, err := colstore.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := graph.LoadRegistry(dir + "/registry.json")
+	if err != nil {
+		return nil, err
+	}
+	return &Store{rel: rel, reg: reg, eng: query.NewEngine(rel, reg)}, nil
+}
+
+// ResetIOStats zeroes the I/O accounting counters.
+func (s *Store) ResetIOStats() { s.rel.Tracker().Reset() }
+
+// IOStatsSnapshot returns the current I/O accounting counters.
+func (s *Store) IOStatsSnapshot() IOStats { return s.rel.Tracker().Snapshot() }

@@ -1,0 +1,79 @@
+// Package agg defines grove's distributive aggregate functions. It is a leaf
+// package shared by the column store (which materializes and incrementally
+// maintains aggregate graph views) and the query engine (which folds
+// measures along paths, §3.4).
+package agg
+
+import "math"
+
+// Func is a distributive aggregate function. Lift maps a raw measure into
+// the aggregation domain; Fold combines two aggregation-domain values.
+// Distributivity (Fold of partial folds == fold of everything) is what makes
+// materialized aggregate views reusable: a stored partial aggregate folds in
+// exactly like a run of raw values. Algebraic functions (e.g. AVG) are
+// computed from distributive parts: AVG = SUM/COUNT.
+type Func struct {
+	Name     string
+	Identity float64
+	Lift     func(v float64) float64
+	Fold     func(a, b float64) float64
+}
+
+// Aggregate folds a slice of raw measures.
+func (f Func) Aggregate(values []float64) float64 {
+	acc := f.Identity
+	for _, v := range values {
+		acc = f.Fold(acc, f.Lift(v))
+	}
+	return acc
+}
+
+// Valid reports whether the function is fully defined.
+func (f Func) Valid() bool { return f.Name != "" && f.Lift != nil && f.Fold != nil }
+
+var (
+	// Sum adds measures along a path (e.g. total delivery time).
+	Sum = Func{
+		Name:     "SUM",
+		Identity: 0,
+		Lift:     func(v float64) float64 { return v },
+		Fold:     func(a, b float64) float64 { return a + b },
+	}
+	// Min tracks the smallest measure along a path.
+	Min = Func{
+		Name:     "MIN",
+		Identity: math.Inf(1),
+		Lift:     func(v float64) float64 { return v },
+		Fold:     math.Min,
+	}
+	// Max tracks the largest measure along a path (e.g. longest leg delay).
+	Max = Func{
+		Name:     "MAX",
+		Identity: math.Inf(-1),
+		Lift:     func(v float64) float64 { return v },
+		Fold:     math.Max,
+	}
+	// Count counts measured elements along a path. Lift maps every measure
+	// to 1, so stored partial counts fold in additively.
+	Count = Func{
+		Name:     "COUNT",
+		Identity: 0,
+		Lift:     func(float64) float64 { return 1 },
+		Fold:     func(a, b float64) float64 { return a + b },
+	}
+)
+
+// ByName resolves a function from its persisted name.
+func ByName(name string) (Func, bool) {
+	switch name {
+	case Sum.Name:
+		return Sum, true
+	case Min.Name:
+		return Min, true
+	case Max.Name:
+		return Max, true
+	case Count.Name:
+		return Count, true
+	}
+	return Func{}, false
+}

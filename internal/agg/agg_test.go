@@ -1,0 +1,80 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, f := range []Func{Sum, Min, Max, Count} {
+		if !f.Valid() {
+			t.Errorf("%s not valid", f.Name)
+		}
+	}
+	if (Func{}).Valid() {
+		t.Error("zero Func valid")
+	}
+	if (Func{Name: "X", Lift: Sum.Lift}).Valid() {
+		t.Error("Func without Fold valid")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	if Sum.Aggregate(nil) != 0 {
+		t.Error("SUM identity")
+	}
+	if !math.IsInf(Min.Aggregate(nil), 1) {
+		t.Error("MIN identity")
+	}
+	if !math.IsInf(Max.Aggregate(nil), -1) {
+		t.Error("MAX identity")
+	}
+	if Count.Aggregate(nil) != 0 {
+		t.Error("COUNT identity")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []Func{Sum, Min, Max, Count} {
+		got, ok := ByName(want.Name)
+		if !ok || got.Name != want.Name {
+			t.Errorf("ByName(%s) failed", want.Name)
+		}
+	}
+	if _, ok := ByName("sum"); ok {
+		t.Error("ByName is case-sensitive by contract; lowercase accepted")
+	}
+	if _, ok := ByName(""); ok {
+		t.Error("empty name accepted")
+	}
+}
+
+// TestQuickDistributivity: for any split point, folding partial aggregates
+// equals aggregating the whole — the property aggregate views rely on.
+func TestQuickDistributivity(t *testing.T) {
+	for _, f := range []Func{Sum, Min, Max, Count} {
+		f := f
+		prop := func(raw []float64, splitRaw uint8) bool {
+			vals := make([]float64, 0, len(raw))
+			for _, v := range raw {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				return true
+			}
+			split := int(splitRaw) % len(vals)
+			whole := f.Aggregate(vals)
+			parts := f.Fold(f.Aggregate(vals[:split]), f.Aggregate(vals[split:]))
+			if f.Name == "SUM" {
+				return math.Abs(whole-parts) <= 1e-6*math.Max(1, math.Abs(whole))
+			}
+			return whole == parts
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}

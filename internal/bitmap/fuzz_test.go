@@ -1,0 +1,54 @@
+package bitmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom checks the bitmap deserializer never panics on arbitrary
+// bytes, and that anything it does accept survives a write/read round trip.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with valid serializations of the three container kinds.
+	seeds := []*Bitmap{
+		FromSlice([]uint32{1, 2, 3, 70000}),
+		FromRange(0, 100000),
+		func() *Bitmap {
+			b := FromRange(0, 100000)
+			b.RunOptimize()
+			return b
+		}(),
+		New(),
+	}
+	for _, b := range seeds {
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0x42, 0x56, 0x52, 0x47}) // magic, nothing else
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Bitmap
+		if _, err := b.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Accepted: must round trip and basic invariants must hold.
+		card := b.Cardinality()
+		if card < 0 {
+			t.Fatal("negative cardinality")
+		}
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		var b2 Bitmap
+		if _, err := b2.ReadFrom(&buf); err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if !b.Equals(&b2) {
+			t.Fatal("round trip changed contents")
+		}
+	})
+}

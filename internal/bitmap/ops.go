@@ -1,0 +1,72 @@
+package bitmap
+
+// Intersects reports whether b and other share at least one value, with
+// early exit — cheaper than And(...).IsEmpty() when an intersection exists.
+func (b *Bitmap) Intersects(other *Bitmap) bool {
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(other.keys) {
+		switch {
+		case b.keys[i] < other.keys[j]:
+			i++
+		case b.keys[i] > other.keys[j]:
+			j++
+		default:
+			if containersIntersect(b.containers[i], other.containers[j]) {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}
+
+func containersIntersect(a, b container) bool {
+	// Iterate the smaller container, probing the larger.
+	if a.cardinality() > b.cardinality() {
+		a, b = b, a
+	}
+	hit := false
+	a.each(func(v uint16) bool {
+		if b.contains(v) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// OrCardinality returns |b ∪ other| without materializing the union:
+// |A| + |B| − |A ∩ B|.
+func (b *Bitmap) OrCardinality(other *Bitmap) int {
+	return b.Cardinality() + other.Cardinality() - b.AndCardinality(other)
+}
+
+// AndNotCardinality returns |b − other| without materializing the
+// difference.
+func (b *Bitmap) AndNotCardinality(other *Bitmap) int {
+	return b.Cardinality() - b.AndCardinality(other)
+}
+
+// RemoveRange deletes every value in [lo, hi).
+func (b *Bitmap) RemoveRange(lo, hi uint32) {
+	if hi <= lo {
+		return
+	}
+	// Collect then delete to keep iteration simple; ranges in grove are
+	// small (record-id windows).
+	var doomed []uint32
+	b.Each(func(v uint32) bool {
+		if v >= hi {
+			return false
+		}
+		if v >= lo {
+			doomed = append(doomed, v)
+		}
+		return true
+	})
+	for _, v := range doomed {
+		b.Remove(v)
+	}
+}

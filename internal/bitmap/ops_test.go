@@ -1,0 +1,83 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice([]uint32{1, 2, 3, 100000})
+	b := FromSlice([]uint32{4, 5, 100000})
+	if !a.Intersects(b) {
+		t.Error("shared value not detected")
+	}
+	c := FromSlice([]uint32{7, 200000})
+	if a.Intersects(c) {
+		t.Error("disjoint bitmaps reported intersecting")
+	}
+	if a.Intersects(New()) || New().Intersects(a) {
+		t.Error("empty bitmap intersects")
+	}
+}
+
+func TestQuickIntersectsMatchesAnd(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, _ := buildPair(clampValues(av))
+		b, _ := buildPair(clampValues(bv))
+		return a.Intersects(b) == !a.And(b).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCardinalityShortcuts(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, _ := buildPair(clampValues(av))
+		b, _ := buildPair(clampValues(bv))
+		if a.OrCardinality(b) != a.Or(b).Cardinality() {
+			return false
+		}
+		return a.AndNotCardinality(b) == a.AndNot(b).Cardinality()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveRange(t *testing.T) {
+	b := FromRange(0, 100)
+	b.RemoveRange(10, 20)
+	if b.Cardinality() != 90 {
+		t.Fatalf("cardinality = %d, want 90", b.Cardinality())
+	}
+	if b.Contains(10) || b.Contains(19) {
+		t.Error("range values survived")
+	}
+	if !b.Contains(9) || !b.Contains(20) {
+		t.Error("range endpoints damaged")
+	}
+	b.RemoveRange(50, 50) // empty range: no-op
+	if b.Cardinality() != 90 {
+		t.Error("empty range removed values")
+	}
+}
+
+func TestQuickRemoveRangeMatchesReference(t *testing.T) {
+	f := func(values []uint32, lo, hi uint32) bool {
+		values = clampValues(values)
+		lo %= 200000
+		hi %= 200000
+		b, ref := buildPair(values)
+		b.RemoveRange(lo, hi)
+		for v := range ref {
+			if v >= lo && v < hi {
+				delete(ref, v)
+			}
+		}
+		return equalU32(b.ToSlice(), ref.slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

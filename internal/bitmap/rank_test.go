@@ -1,0 +1,111 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankBasic(t *testing.T) {
+	b := FromSlice([]uint32{10, 20, 30, 70000})
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {15, 1}, {20, 2}, {30, 3}, {69999, 3}, {70000, 4}, {1 << 30, 4},
+	}
+	for _, c := range cases {
+		if got := b.Rank(c.v); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRankOnRuns(t *testing.T) {
+	b := FromRange(100, 200)
+	b.RunOptimize()
+	if got := b.Rank(99); got != 0 {
+		t.Errorf("Rank(99) = %d, want 0", got)
+	}
+	if got := b.Rank(150); got != 51 {
+		t.Errorf("Rank(150) = %d, want 51", got)
+	}
+	if got := b.Rank(500); got != 100 {
+		t.Errorf("Rank(500) = %d, want 100", got)
+	}
+}
+
+func TestRankOnBitset(t *testing.T) {
+	b := New()
+	for v := uint32(0); v < 6000; v++ {
+		b.Add(v * 2)
+	}
+	if _, ok := b.containers[0].(*bitsetContainer); !ok {
+		t.Fatalf("expected bitset container, got %T", b.containers[0])
+	}
+	if got := b.Rank(100); got != 51 { // 0,2,...,100
+		t.Errorf("Rank(100) = %d, want 51", got)
+	}
+	if got := b.Rank(101); got != 51 {
+		t.Errorf("Rank(101) = %d, want 51", got)
+	}
+}
+
+func TestSelectInverseOfRank(t *testing.T) {
+	b := FromSlice([]uint32{5, 9, 100, 65536, 200001})
+	for i, want := range []uint32{5, 9, 100, 65536, 200001} {
+		if got, ok := b.Select(i); !ok || got != want {
+			t.Errorf("Select(%d) = %d,%v want %d,true", i, got, ok, want)
+		}
+	}
+	if _, ok := b.Select(5); ok {
+		t.Error("Select out of range reported ok")
+	}
+	if _, ok := b.Select(-1); ok {
+		t.Error("Select(-1) reported ok")
+	}
+}
+
+func TestQuickRankMatchesReference(t *testing.T) {
+	f := func(values []uint32, probes []uint32) bool {
+		values = clampValues(values)
+		probes = clampValues(probes)
+		b, ref := buildPair(values)
+		sorted := ref.slice()
+		for _, p := range probes {
+			want := 0
+			for _, v := range sorted {
+				if v <= p {
+					want++
+				}
+			}
+			if b.Rank(p) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectRankRoundTrip(t *testing.T) {
+	f := func(values []uint32) bool {
+		b, _ := buildPair(clampValues(values))
+		ok := true
+		i := 0
+		b.Each(func(v uint32) bool {
+			got, found := b.Select(i)
+			if !found || got != v || b.Rank(v) != i+1 {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchColumn builds a measure column with ~density fraction of numRecords
+// present.
+func benchColumn(numRecords int, density float64, seed int64) *MeasureColumn {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewMeasureColumn()
+	for rec := 0; rec < numRecords; rec++ {
+		if rng.Float64() < density {
+			c.Set(uint32(rec), rng.Float64())
+		}
+	}
+	return c
+}
+
+func benchAnswer(numRecords, n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := uint32(rng.Intn(numRecords))
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sortU32(out)
+	return out
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// BenchmarkValuesForMerge vs BenchmarkValuesForGets: the batched merge
+// access path against per-record point lookups (the ablation behind
+// MeasureColumn.ValuesFor's hybrid).
+func BenchmarkValuesForMerge(b *testing.B) {
+	c := benchColumn(100000, 0.1, 1)
+	recs := benchAnswer(100000, 5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ValuesFor(recs)
+	}
+}
+
+func BenchmarkValuesForGets(b *testing.B) {
+	c := benchColumn(100000, 0.1, 1)
+	recs := benchAnswer(100000, 5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rec := range recs {
+			c.Get(rec)
+		}
+	}
+}
+
+func BenchmarkMeasureColumnSetSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewMeasureColumn()
+		for rec := uint32(0); rec < 10000; rec++ {
+			c.Set(rec, float64(rec))
+		}
+	}
+}
+
+func BenchmarkMaterializeView(b *testing.B) {
+	r := NewRelation(0)
+	rng := rand.New(rand.NewSource(4))
+	for rec := 0; rec < 20000; rec++ {
+		id := r.NewRecord()
+		for j := 0; j < 30; j++ {
+			r.SetEdgeMeasure(id, EdgeID(rng.Intn(500)), 1)
+		}
+	}
+	edges := []EdgeID{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := "v" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		if _, err := r.MaterializeView(name, edges); err != nil {
+			b.Fatal(err)
+		}
+		r.DropView(name)
+	}
+}
+
+func BenchmarkUpdateViewsForRecord(b *testing.B) {
+	r := NewRelation(0)
+	rng := rand.New(rand.NewSource(5))
+	for rec := 0; rec < 1000; rec++ {
+		id := r.NewRecord()
+		for j := 0; j < 30; j++ {
+			r.SetEdgeMeasure(id, EdgeID(rng.Intn(200)), 1)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := r.MaterializeView("v"+string(rune('a'+i)), []EdgeID{EdgeID(i), EdgeID(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := r.NewRecord()
+		for j := 0; j < 30; j++ {
+			r.SetEdgeMeasure(id, EdgeID(rng.Intn(200)), 1)
+		}
+		r.UpdateViewsForRecord(id)
+	}
+}

@@ -1,0 +1,396 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grove/internal/agg"
+)
+
+func TestMeasureColumnSetGet(t *testing.T) {
+	c := NewMeasureColumn()
+	c.Set(5, 1.5)
+	c.Set(2, 2.5)
+	c.Set(9, 3.5)
+	c.Set(5, 9.9) // replace
+
+	if v, ok := c.Get(5); !ok || v != 9.9 {
+		t.Errorf("Get(5) = %v,%v want 9.9,true", v, ok)
+	}
+	if v, ok := c.Get(2); !ok || v != 2.5 {
+		t.Errorf("Get(2) = %v,%v want 2.5,true", v, ok)
+	}
+	if v, ok := c.Get(9); !ok || v != 3.5 {
+		t.Errorf("Get(9) = %v,%v want 3.5,true", v, ok)
+	}
+	if _, ok := c.Get(3); ok {
+		t.Error("Get(3) reported present for NULL")
+	}
+	if c.Count() != 3 {
+		t.Errorf("Count = %d, want 3", c.Count())
+	}
+}
+
+func TestMeasureColumnForEachOrder(t *testing.T) {
+	c := NewMeasureColumn()
+	c.Set(30, 3)
+	c.Set(10, 1)
+	c.Set(20, 2)
+	var recs []uint32
+	var vals []float64
+	c.ForEach(func(rec uint32, v float64) bool {
+		recs = append(recs, rec)
+		vals = append(vals, v)
+		return true
+	})
+	wantRecs := []uint32{10, 20, 30}
+	wantVals := []float64{1, 2, 3}
+	for i := range wantRecs {
+		if recs[i] != wantRecs[i] || vals[i] != wantVals[i] {
+			t.Fatalf("ForEach order = %v/%v, want %v/%v", recs, vals, wantRecs, wantVals)
+		}
+	}
+}
+
+func TestQuickMeasureColumnMatchesMap(t *testing.T) {
+	f := func(pairs []struct {
+		Rec uint32
+		V   float64
+	}) bool {
+		c := NewMeasureColumn()
+		ref := map[uint32]float64{}
+		for _, p := range pairs {
+			rec := p.Rec % 100000
+			v := p.V
+			if v != v { // NaN guard: NaN measures are rejected elsewhere
+				v = 0
+			}
+			c.Set(rec, v)
+			ref[rec] = v
+		}
+		if c.Count() != len(ref) {
+			return false
+		}
+		for rec, want := range ref {
+			if got, ok := c.Get(rec); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildSmallRelation(t *testing.T) *Relation {
+	t.Helper()
+	// The three records of paper Fig. 2 / Table 1. Edge ids 1..7.
+	r := NewRelation(0)
+	r1 := r.NewRecord()
+	r2 := r.NewRecord()
+	r3 := r.NewRecord()
+	set := func(rec uint32, pairs map[EdgeID]float64) {
+		for e, v := range pairs {
+			r.SetEdgeMeasure(rec, e, v)
+		}
+	}
+	set(r1, map[EdgeID]float64{1: 3, 2: 4, 3: 2, 4: 1, 5: 2})
+	set(r2, map[EdgeID]float64{2: 1, 3: 2, 4: 2, 5: 1, 6: 4, 7: 1})
+	set(r3, map[EdgeID]float64{4: 5, 5: 4, 6: 3, 7: 1})
+	return r
+}
+
+func TestRelationTable1Bitmaps(t *testing.T) {
+	r := buildSmallRelation(t)
+	if r.NumRecords() != 3 {
+		t.Fatalf("NumRecords = %d, want 3", r.NumRecords())
+	}
+	// Table 1: b1 = (1,0,0), b4 = (1,1,1), b6 = (0,1,1).
+	cases := []struct {
+		edge EdgeID
+		want []uint32
+	}{
+		{1, []uint32{0}},
+		{4, []uint32{0, 1, 2}},
+		{6, []uint32{1, 2}},
+	}
+	for _, c := range cases {
+		got := r.EdgeBitmap(c.edge).ToSlice()
+		if len(got) != len(c.want) {
+			t.Fatalf("edge %d bitmap = %v, want %v", c.edge, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("edge %d bitmap = %v, want %v", c.edge, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRelationTable1Views(t *testing.T) {
+	r := buildSmallRelation(t)
+	// bv1: AND of e1..e4 → only r1 (Table 1, column bv1 = 1,0,0).
+	v, err := r.MaterializeView("bv1", []EdgeID{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Col.Bits().ToSlice(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("bv1 = %v, want [0]", got)
+	}
+	// Aggregate view p1 = [e6,e7], SUM: mp1 = NULL,5,4; bp1 = 0,1,1.
+	av, err := r.MaterializeAggView("p1", []EdgeID{6, 7}, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := av.Measure.Get(0); ok {
+		t.Error("r1 should be NULL in mp1")
+	}
+	if got, ok := av.Measure.Get(1); !ok || got != 5 {
+		t.Errorf("mp1[r2] = %v,%v want 5,true", got, ok)
+	}
+	if got, ok := av.Measure.Get(2); !ok || got != 4 {
+		t.Errorf("mp1[r3] = %v,%v want 4,true", got, ok)
+	}
+	if got := av.Col.Bits().ToSlice(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("bp1 = %v, want [1 2]", got)
+	}
+}
+
+func TestMaterializeViewErrors(t *testing.T) {
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeView("", []EdgeID{1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.MaterializeView("v", nil); err == nil {
+		t.Error("empty edge set accepted")
+	}
+	if _, err := r.MaterializeView("v", []EdgeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MaterializeView("v", []EdgeID{2}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := r.MaterializeAggView("a", []EdgeID{1}, agg.Sum); err == nil {
+		t.Error("single-edge aggregate view accepted")
+	}
+	if _, err := r.MaterializeAggView("a", []EdgeID{1, 2}, agg.Func{}); err == nil {
+		t.Error("invalid aggregate function accepted")
+	}
+}
+
+func TestViewDrop(t *testing.T) {
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeView("v", []EdgeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.DropView("v") {
+		t.Error("DropView failed")
+	}
+	if r.DropView("v") {
+		t.Error("second DropView succeeded")
+	}
+	if r.View("v") != nil {
+		t.Error("view still present after drop")
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	r := buildSmallRelation(t)
+	r.Tracker().Reset()
+	_ = r.FetchEdgeBitmap(1)
+	_ = r.FetchEdgeBitmap(2)
+	_ = r.FetchMeasureColumn(1)
+	s := r.Tracker().Snapshot()
+	if s.BitmapColumnsFetched != 2 {
+		t.Errorf("BitmapColumnsFetched = %d, want 2", s.BitmapColumnsFetched)
+	}
+	if s.MeasureColumnsFetched != 1 {
+		t.Errorf("MeasureColumnsFetched = %d, want 1", s.MeasureColumnsFetched)
+	}
+	if s.ColumnsFetched() != 3 {
+		t.Errorf("ColumnsFetched = %d, want 3", s.ColumnsFetched())
+	}
+	if s.BytesRead == 0 {
+		t.Error("BytesRead = 0, want > 0")
+	}
+	// Unknown columns are still charged as a fetch.
+	_ = r.FetchEdgeBitmap(999)
+	if got := r.Tracker().Snapshot().BitmapColumnsFetched; got != 3 {
+		t.Errorf("after unknown edge fetch, BitmapColumnsFetched = %d, want 3", got)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{BitmapColumnsFetched: 3, MeasureColumnsFetched: 1, BytesRead: 100}
+	b := Stats{BitmapColumnsFetched: 1, MeasureColumnsFetched: 1, BytesRead: 40}
+	sum := a.Add(b)
+	if sum.BitmapColumnsFetched != 4 || sum.BytesRead != 140 {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Errorf("Sub = %+v, want %+v", diff, a)
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	r := NewRelation(10)
+	rec := r.NewRecord()
+	for e := EdgeID(0); e < 35; e++ {
+		r.SetEdgeMeasure(rec, e, 1)
+	}
+	if r.PartitionWidth() != 10 {
+		t.Errorf("PartitionWidth = %d", r.PartitionWidth())
+	}
+	if got := r.PartitionOf(0); got != 0 {
+		t.Errorf("PartitionOf(0) = %d", got)
+	}
+	if got := r.PartitionOf(34); got != 3 {
+		t.Errorf("PartitionOf(34) = %d", got)
+	}
+	if got := r.NumPartitions(); got != 4 {
+		t.Errorf("NumPartitions = %d, want 4", got)
+	}
+	if got := r.PartitionSpan([]EdgeID{1, 2, 11, 29}); got != 3 {
+		t.Errorf("PartitionSpan = %d, want 3", got)
+	}
+}
+
+func TestDefaultPartitionWidth(t *testing.T) {
+	r := NewRelation(0)
+	if r.PartitionWidth() != DefaultPartitionWidth {
+		t.Errorf("default width = %d, want %d", r.PartitionWidth(), DefaultPartitionWidth)
+	}
+}
+
+func TestJoinPartitionsAccounting(t *testing.T) {
+	r := buildSmallRelation(t)
+	r.Tracker().Reset()
+	answer := r.EdgeBitmap(4) // all three records
+	r.JoinPartitions(3, answer)
+	if got := r.Tracker().Snapshot().PartitionJoins; got != 6 { // 2 joins × 3 records
+		t.Errorf("PartitionJoins = %d, want 6", got)
+	}
+	r.Tracker().Reset()
+	r.JoinPartitions(1, answer)
+	if got := r.Tracker().Snapshot().PartitionJoins; got != 0 {
+		t.Errorf("single-partition join accounted %d", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeView("bv1", []EdgeID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MaterializeAggView("p1", []EdgeID{6, 7}, agg.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != r.NumRecords() {
+		t.Errorf("NumRecords = %d, want %d", got.NumRecords(), r.NumRecords())
+	}
+	if got.TotalMeasures() != r.TotalMeasures() {
+		t.Errorf("TotalMeasures = %d, want %d", got.TotalMeasures(), r.TotalMeasures())
+	}
+	for _, e := range r.Edges() {
+		want := r.EdgeBitmap(e)
+		if !got.EdgeBitmap(e).Equals(want) {
+			t.Errorf("edge %d bitmap mismatch", e)
+		}
+		wm, gm := r.MeasureColumn(e), got.MeasureColumn(e)
+		if (wm == nil) != (gm == nil) {
+			t.Fatalf("edge %d measure presence mismatch", e)
+		}
+		if wm != nil {
+			wm.ForEach(func(rec uint32, v float64) bool {
+				if gv, ok := gm.Get(rec); !ok || gv != v {
+					t.Errorf("edge %d rec %d: %v vs %v", e, rec, gv, v)
+				}
+				return true
+			})
+		}
+	}
+	v := got.View("bv1")
+	if v == nil || !v.Col.Bits().Equals(r.View("bv1").Col.Bits()) {
+		t.Error("graph view bv1 did not survive round trip")
+	}
+	av := got.AggView("p1")
+	if av == nil || av.Func != "SUM" || len(av.Path) != 2 {
+		t.Fatalf("agg view p1 metadata lost: %+v", av)
+	}
+	if mv, ok := av.Measure.Get(1); !ok || mv != 5 {
+		t.Errorf("agg view measure lost: %v,%v", mv, ok)
+	}
+	if sz, err := DiskSizeBytes(dir); err != nil || sz <= 0 {
+		t.Errorf("DiskSizeBytes = %d, %v", sz, err)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(t.TempDir() + "/nope"); err == nil {
+		t.Fatal("Load of missing dir succeeded")
+	}
+}
+
+func TestSaveLoadLargeRandom(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	r := NewRelation(100)
+	for i := 0; i < 2000; i++ {
+		rec := r.NewRecord()
+		n := 5 + rng.Intn(20)
+		for j := 0; j < n; j++ {
+			e := EdgeID(rng.Intn(300))
+			r.SetEdgeMeasure(rec, e, float64(rng.Intn(1000))/10)
+		}
+	}
+	r.RunOptimize()
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != 2000 {
+		t.Fatalf("NumRecords = %d", got.NumRecords())
+	}
+	if got.TotalMeasures() != r.TotalMeasures() {
+		t.Fatalf("TotalMeasures mismatch: %d vs %d", got.TotalMeasures(), r.TotalMeasures())
+	}
+	for _, e := range r.Edges() {
+		if !got.EdgeBitmap(e).Equals(r.EdgeBitmap(e)) {
+			t.Fatalf("edge %d bitmap mismatch after round trip", e)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	r := buildSmallRelation(t)
+	base := r.BaseSizeBytes()
+	if base <= 0 {
+		t.Fatal("BaseSizeBytes = 0")
+	}
+	if r.ViewSizeBytes() != 0 {
+		t.Fatalf("ViewSizeBytes = %d before materialization", r.ViewSizeBytes())
+	}
+	if _, err := r.MaterializeView("v", []EdgeID{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if r.ViewSizeBytes() <= 0 {
+		t.Error("ViewSizeBytes = 0 after materialization")
+	}
+	if r.SizeBytes() != r.BaseSizeBytes()+r.ViewSizeBytes() {
+		t.Error("SizeBytes != base + views")
+	}
+}

@@ -1,0 +1,160 @@
+// Package colstore implements grove's column-oriented storage engine: the
+// "master relation" R(recid, m1..mn, b1..bn, views...) of the paper (§4.1,
+// §5.1.3). Measures are stored as sparse NULL-compressed columns, edge
+// presence as compressed bitmap columns, and the relation is vertically
+// partitioned into sub-relations of bounded width (§6.1).
+package colstore
+
+import (
+	"fmt"
+	"math"
+
+	"grove/internal/bitmap"
+)
+
+// MeasureColumn stores one float64 measure per record, with NULLs compressed
+// away: a presence bitmap plus a dense slice of the non-NULL values in record
+// id order. This is the columnar analogue of "vertical compression of columns
+// with many NULL values" (§4.1).
+type MeasureColumn struct {
+	present *bitmap.Bitmap
+	values  []float64
+}
+
+// NewMeasureColumn returns an empty measure column.
+func NewMeasureColumn() *MeasureColumn {
+	return &MeasureColumn{present: bitmap.New()}
+}
+
+// Set stores v for record rec, replacing any prior value. Appending in
+// ascending record order is O(1); out-of-order sets pay an O(n) insert.
+func (c *MeasureColumn) Set(rec uint32, v float64) {
+	if c.present.Contains(rec) {
+		c.values[c.present.Rank(rec)-1] = v
+		return
+	}
+	idx := c.present.Rank(rec)
+	c.present.Add(rec)
+	if idx == len(c.values) {
+		c.values = append(c.values, v)
+		return
+	}
+	c.values = append(c.values, 0)
+	copy(c.values[idx+1:], c.values[idx:])
+	c.values[idx] = v
+}
+
+// Get returns the value for rec; ok is false when the record has a NULL in
+// this column (the record does not contain the edge).
+func (c *MeasureColumn) Get(rec uint32) (v float64, ok bool) {
+	if !c.present.Contains(rec) {
+		return 0, false
+	}
+	return c.values[c.present.Rank(rec)-1], true
+}
+
+// Present returns the presence bitmap. Callers must not mutate it.
+func (c *MeasureColumn) Present() *bitmap.Bitmap { return c.present }
+
+// Count returns the number of non-NULL entries.
+func (c *MeasureColumn) Count() int { return len(c.values) }
+
+// ForEach visits all non-NULL (rec, value) pairs in ascending record order.
+func (c *MeasureColumn) ForEach(f func(rec uint32, v float64) bool) {
+	i := 0
+	c.present.Each(func(rec uint32) bool {
+		ok := f(rec, c.values[i])
+		i++
+		return ok
+	})
+}
+
+// ValuesFor reads the column for the given ascending record ids in one
+// batch, returning a value and a presence flag per id. For answer sets that
+// are large relative to the column it runs a single merge pass over the
+// column (O(column + len(recs))); for small answer sets it falls back to
+// per-record lookups. This is the column-at-a-time access path query
+// execution uses to materialize measures.
+func (c *MeasureColumn) ValuesFor(recs []uint32) (values []float64, present []bool) {
+	values = make([]float64, len(recs))
+	present = make([]bool, len(recs))
+	if len(recs) == 0 {
+		return values, present
+	}
+	if len(recs) < c.Count()/16 {
+		for i, rec := range recs {
+			values[i], present[i] = c.Get(rec)
+		}
+		return values, present
+	}
+	i := 0 // index into recs
+	idx := 0
+	c.present.Each(func(rec uint32) bool {
+		for i < len(recs) && recs[i] < rec {
+			i++
+		}
+		if i >= len(recs) {
+			return false
+		}
+		if recs[i] == rec {
+			values[i] = c.values[idx]
+			present[i] = true
+			i++
+		}
+		idx++
+		return true
+	})
+	return values, present
+}
+
+// SizeBytes reports the approximate payload size (presence bitmap + values).
+func (c *MeasureColumn) SizeBytes() int {
+	return c.present.SizeBytes() + 8*len(c.values)
+}
+
+// validate checks internal invariants; used by tests and loaders.
+func (c *MeasureColumn) validate() error {
+	if c.present.Cardinality() != len(c.values) {
+		return fmt.Errorf("colstore: measure column presence/value mismatch: %d vs %d",
+			c.present.Cardinality(), len(c.values))
+	}
+	for _, v := range c.values {
+		if math.IsNaN(v) {
+			return fmt.Errorf("colstore: NaN measure value")
+		}
+	}
+	return nil
+}
+
+// BitmapColumn is a boolean column over the record id space: bit r is set iff
+// record r satisfies the column's predicate (contains an edge, matches a
+// view's edge set, or contains a view's path).
+type BitmapColumn struct {
+	bits *bitmap.Bitmap
+}
+
+// NewBitmapColumn returns an empty bitmap column.
+func NewBitmapColumn() *BitmapColumn {
+	return &BitmapColumn{bits: bitmap.New()}
+}
+
+// NewBitmapColumnFrom wraps an existing bitmap (taking ownership).
+func NewBitmapColumnFrom(b *bitmap.Bitmap) *BitmapColumn {
+	return &BitmapColumn{bits: b}
+}
+
+// Set marks record rec.
+func (c *BitmapColumn) Set(rec uint32) { c.bits.Add(rec) }
+
+// Contains reports whether rec is marked.
+func (c *BitmapColumn) Contains(rec uint32) bool { return c.bits.Contains(rec) }
+
+// Bits exposes the underlying bitmap. Callers must not mutate it; use Clone
+// for derived computations (binary ops already allocate fresh results).
+func (c *BitmapColumn) Bits() *bitmap.Bitmap { return c.bits }
+
+// Cardinality returns the number of marked records.
+func (c *BitmapColumn) Cardinality() int { return c.bits.Cardinality() }
+
+// SizeBytes reports the approximate payload size.
+func (c *BitmapColumn) SizeBytes() int { return c.bits.SizeBytes() }

@@ -1,0 +1,6 @@
+package colstore
+
+import "math"
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,107 @@
+package colstore
+
+import (
+	"testing"
+
+	"grove/internal/agg"
+)
+
+// TestViewsStayFreshAcrossLoads verifies incremental view maintenance: views
+// materialized before a record arrives must include it afterwards, exactly
+// as if they had been materialized later.
+func TestViewsStayFreshAcrossLoads(t *testing.T) {
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeView("v45", []EdgeID{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MaterializeAggView("p45", []EdgeID{4, 5}, agg.Sum); err != nil {
+		t.Fatal(err)
+	}
+
+	// New record containing e4, e5 arrives after materialization.
+	rec := r.NewRecord()
+	r.SetEdgeMeasure(rec, 4, 10)
+	r.SetEdgeMeasure(rec, 5, 20)
+	r.UpdateViewsForRecord(rec)
+
+	if !r.View("v45").Col.Contains(rec) {
+		t.Error("graph view missed the new record")
+	}
+	av := r.AggView("p45")
+	if !av.Col.Contains(rec) {
+		t.Error("aggregate view bitmap missed the new record")
+	}
+	if v, ok := av.Measure.Get(rec); !ok || v != 30 {
+		t.Errorf("aggregate view measure = %v,%v want 30,true", v, ok)
+	}
+
+	// A record NOT containing the view edges must stay excluded.
+	rec2 := r.NewRecord()
+	r.SetEdgeMeasure(rec2, 4, 1) // e5 missing
+	r.UpdateViewsForRecord(rec2)
+	if r.View("v45").Col.Contains(rec2) {
+		t.Error("graph view includes a non-matching record")
+	}
+	if av.Col.Contains(rec2) {
+		t.Error("aggregate view includes a non-matching record")
+	}
+}
+
+// TestMaintainedViewEqualsRematerialized cross-checks incremental
+// maintenance against a from-scratch rebuild.
+func TestMaintainedViewEqualsRematerialized(t *testing.T) {
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeAggView("p", []EdgeID{6, 7}, agg.Max); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec := r.NewRecord()
+		if i%2 == 0 {
+			r.SetEdgeMeasure(rec, 6, float64(i))
+			r.SetEdgeMeasure(rec, 7, float64(2*i))
+		} else {
+			r.SetEdgeMeasure(rec, 6, float64(i))
+		}
+		r.UpdateViewsForRecord(rec)
+	}
+	maintained := r.AggView("p")
+	r.DropAggView("p")
+	rebuilt, err := r.MaterializeAggView("p", []EdgeID{6, 7}, agg.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !maintained.Col.Bits().Equals(rebuilt.Col.Bits()) {
+		t.Fatal("maintained bitmap differs from rebuilt")
+	}
+	rebuilt.Measure.ForEach(func(rec uint32, v float64) bool {
+		got, ok := maintained.Measure.Get(rec)
+		if !ok || got != v {
+			t.Errorf("rec %d: maintained %v,%v want %v", rec, got, ok, v)
+		}
+		return true
+	})
+}
+
+// TestLoadedAggViewIsMaintainable verifies that views reloaded from disk can
+// still be maintained (the function is re-bound by name).
+func TestLoadedAggViewIsMaintainable(t *testing.T) {
+	dir := t.TempDir()
+	r := buildSmallRelation(t)
+	if _, err := r.MaterializeAggView("p", []EdgeID{6, 7}, agg.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := got.NewRecord()
+	got.SetEdgeMeasure(rec, 6, 7)
+	got.SetEdgeMeasure(rec, 7, 8)
+	got.UpdateViewsForRecord(rec)
+	if v, ok := got.AggView("p").Measure.Get(rec); !ok || v != 15 {
+		t.Errorf("reloaded view not maintained: %v,%v", v, ok)
+	}
+}

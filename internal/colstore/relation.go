@@ -1,0 +1,637 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+
+	"grove/internal/agg"
+	"grove/internal/bitmap"
+)
+
+// EdgeID identifies a structural element (edge or node — a node X is the
+// special edge [X,X], §4.1) in the universal numbering scheme shared by all
+// records and queries.
+type EdgeID uint32
+
+// DefaultPartitionWidth is the paper's vertical-partitioning bound: the
+// master relation is automatically broken into sub-relations of at most one
+// thousand (edge) columns each (§6.1).
+const DefaultPartitionWidth = 1000
+
+// GraphView is a materialized graph view (§5.1.1): a single bitmap column
+// b_v whose bit r is set iff record r contains every edge in Edges.
+type GraphView struct {
+	Name  string
+	Edges []EdgeID // sorted, unique
+	Col   *BitmapColumn
+}
+
+// AggregateView is a materialized aggregate graph view (§5.1.2): a measure
+// column m_p holding F(measures along path p) for each record containing p,
+// plus the bitmap column b_p of those records.
+type AggregateView struct {
+	Name string
+	Path []EdgeID // path edges in traversal order
+	Func string   // aggregate function name (e.g. "SUM")
+	// MeasureName selects which measure the view aggregates ("" = default;
+	// named measures are the m_i^name columns of multi-measure records).
+	MeasureName string
+	Measure     *MeasureColumn
+	Col         *BitmapColumn
+
+	fn agg.Func // bound function, used for incremental maintenance
+}
+
+// Relation is the master relation R of the paper: one row per graph record,
+// one (measure, bitmap) column pair per edge id, plus materialized view
+// columns. All query-visible fetches go through the Fetch* methods so the
+// I/O cost model can account them.
+type Relation struct {
+	numRecords uint32
+	partWidth  int
+	measures   map[EdgeID]*MeasureColumn            // default measure columns m_i
+	named      map[string]map[EdgeID]*MeasureColumn // named measure columns m_i^name
+	bitmaps    map[EdgeID]*BitmapColumn
+	views      map[string]*GraphView
+	aggViews   map[string]*AggregateView
+	tags       map[string]map[string]*BitmapColumn // key → value → records
+	partMap    map[EdgeID]int                      // optional clustered partition assignment (§6.1)
+	deleted    *bitmap.Bitmap                      // soft-deleted record ids
+	version    uint64                              // bumped on every mutation
+	tracker    Tracker
+}
+
+// NewRelation creates an empty master relation with the given vertical
+// partition width (≤0 selects DefaultPartitionWidth).
+func NewRelation(partitionWidth int) *Relation {
+	if partitionWidth <= 0 {
+		partitionWidth = DefaultPartitionWidth
+	}
+	return &Relation{
+		partWidth: partitionWidth,
+		measures:  make(map[EdgeID]*MeasureColumn),
+		named:     make(map[string]map[EdgeID]*MeasureColumn),
+		bitmaps:   make(map[EdgeID]*BitmapColumn),
+		views:     make(map[string]*GraphView),
+		aggViews:  make(map[string]*AggregateView),
+	}
+}
+
+// Tracker returns the relation's I/O accounting tracker.
+func (r *Relation) Tracker() *Tracker { return &r.tracker }
+
+// Version returns a counter that changes whenever the relation mutates
+// (records, measures, views, deletes). Caches key their entries on it.
+func (r *Relation) Version() uint64 { return r.version }
+
+func (r *Relation) bumpVersion() { r.version++ }
+
+// NewRecord allocates and returns the next record id.
+func (r *Relation) NewRecord() uint32 {
+	r.bumpVersion()
+	id := r.numRecords
+	r.numRecords++
+	return id
+}
+
+// NumRecords returns the number of records loaded.
+func (r *Relation) NumRecords() int { return int(r.numRecords) }
+
+// SetEdge marks record rec as containing edge without recording a measure
+// (the paper drops measure columns for elements no application measures).
+func (r *Relation) SetEdge(rec uint32, edge EdgeID) {
+	r.bumpVersion()
+	r.edgeBitmap(edge).Set(rec)
+}
+
+// SetEdgeMeasure marks record rec as containing edge with default-measure
+// value v.
+func (r *Relation) SetEdgeMeasure(rec uint32, edge EdgeID, v float64) {
+	r.bumpVersion()
+	r.edgeBitmap(edge).Set(rec)
+	m, ok := r.measures[edge]
+	if !ok {
+		m = NewMeasureColumn()
+		r.measures[edge] = m
+	}
+	m.Set(rec, v)
+}
+
+// SetEdgeMeasureNamed marks record rec as containing edge with a value in
+// the named measure column m_edge^name ("" = default measure).
+func (r *Relation) SetEdgeMeasureNamed(rec uint32, edge EdgeID, name string, v float64) {
+	r.bumpVersion()
+	if name == "" {
+		r.SetEdgeMeasure(rec, edge, v)
+		return
+	}
+	r.edgeBitmap(edge).Set(rec)
+	cols, ok := r.named[name]
+	if !ok {
+		cols = make(map[EdgeID]*MeasureColumn)
+		r.named[name] = cols
+	}
+	m, ok := cols[edge]
+	if !ok {
+		m = NewMeasureColumn()
+		cols[edge] = m
+	}
+	m.Set(rec, v)
+}
+
+// MeasureNames lists the named measures stored (excluding the default), in
+// sorted order.
+func (r *Relation) MeasureNames() []string {
+	out := make([]string, 0, len(r.named))
+	for name := range r.named {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Relation) edgeBitmap(edge EdgeID) *BitmapColumn {
+	b, ok := r.bitmaps[edge]
+	if !ok {
+		b = NewBitmapColumn()
+		r.bitmaps[edge] = b
+	}
+	return b
+}
+
+// HasEdge reports whether any record contains the edge.
+func (r *Relation) HasEdge(edge EdgeID) bool {
+	_, ok := r.bitmaps[edge]
+	return ok
+}
+
+// Edges returns all edge ids with at least one record, ascending.
+func (r *Relation) Edges() []EdgeID {
+	out := make([]EdgeID, 0, len(r.bitmaps))
+	for e := range r.bitmaps {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalMeasures counts all non-NULL measure values, named included
+// (Table 2's "total number of measures").
+func (r *Relation) TotalMeasures() int64 {
+	var n int64
+	for _, m := range r.measures {
+		n += int64(m.Count())
+	}
+	for _, cols := range r.named {
+		for _, m := range cols {
+			n += int64(m.Count())
+		}
+	}
+	return n
+}
+
+// --- tracked fetches (query-visible I/O) ------------------------------------
+
+var emptyBitmap = bitmap.New()
+
+// FetchEdgeBitmap reads bitmap column b_edge, accounting one bitmap-column
+// fetch. Unknown edges yield an empty bitmap (still charged: the column is
+// fetched before its emptiness is known).
+func (r *Relation) FetchEdgeBitmap(edge EdgeID) *bitmap.Bitmap {
+	b, ok := r.bitmaps[edge]
+	if !ok {
+		r.tracker.onBitmapFetch(0)
+		return emptyBitmap
+	}
+	r.tracker.onBitmapFetch(b.SizeBytes())
+	return b.Bits()
+}
+
+// FetchMeasureColumn reads default measure column m_edge, accounting one
+// measure-column fetch. Returns nil when the edge has no measured values.
+func (r *Relation) FetchMeasureColumn(edge EdgeID) *MeasureColumn {
+	m, ok := r.measures[edge]
+	if !ok {
+		r.tracker.onMeasureFetch(0)
+		return nil
+	}
+	r.tracker.onMeasureFetch(m.SizeBytes())
+	return m
+}
+
+// FetchMeasureColumnNamed reads named measure column m_edge^name, accounting
+// one measure-column fetch. Returns nil when absent.
+func (r *Relation) FetchMeasureColumnNamed(edge EdgeID, name string) *MeasureColumn {
+	if name == "" {
+		return r.FetchMeasureColumn(edge)
+	}
+	m, ok := r.named[name][edge]
+	if !ok {
+		r.tracker.onMeasureFetch(0)
+		return nil
+	}
+	r.tracker.onMeasureFetch(m.SizeBytes())
+	return m
+}
+
+// FetchViewBitmap reads graph-view column b_v by name.
+func (r *Relation) FetchViewBitmap(name string) (*bitmap.Bitmap, error) {
+	v, ok := r.views[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown graph view %q", name)
+	}
+	r.tracker.onBitmapFetch(v.Col.SizeBytes())
+	return v.Col.Bits(), nil
+}
+
+// FetchAggViewBitmap reads aggregate-view bitmap column b_p by name.
+func (r *Relation) FetchAggViewBitmap(name string) (*bitmap.Bitmap, error) {
+	v, ok := r.aggViews[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown aggregate view %q", name)
+	}
+	r.tracker.onBitmapFetch(v.Col.SizeBytes())
+	return v.Col.Bits(), nil
+}
+
+// FetchAggViewMeasure reads aggregate-view measure column m_p by name.
+func (r *Relation) FetchAggViewMeasure(name string) (*MeasureColumn, error) {
+	v, ok := r.aggViews[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown aggregate view %q", name)
+	}
+	r.tracker.onMeasureFetch(v.Measure.SizeBytes())
+	return v.Measure, nil
+}
+
+// AccountMeasuresScanned records that n individual measure values were
+// materialized into a query result.
+func (r *Relation) AccountMeasuresScanned(n int) { r.tracker.onMeasuresScanned(n) }
+
+// AccountRecordsReturned records that n graph records entered a query answer.
+func (r *Relation) AccountRecordsReturned(n int) { r.tracker.onRecordsReturned(n) }
+
+// --- untracked accessors (loading, view building, tests) --------------------
+
+// EdgeBitmap returns bitmap column b_edge without accounting (nil if absent).
+func (r *Relation) EdgeBitmap(edge EdgeID) *bitmap.Bitmap {
+	if b, ok := r.bitmaps[edge]; ok {
+		return b.Bits()
+	}
+	return nil
+}
+
+// MeasureColumn returns default measure column m_edge without accounting
+// (nil if absent).
+func (r *Relation) MeasureColumn(edge EdgeID) *MeasureColumn {
+	return r.measures[edge]
+}
+
+// MeasureColumnNamed returns named measure column m_edge^name without
+// accounting (nil if absent).
+func (r *Relation) MeasureColumnNamed(edge EdgeID, name string) *MeasureColumn {
+	if name == "" {
+		return r.measures[edge]
+	}
+	return r.named[name][edge]
+}
+
+// --- vertical partitioning (§6.1) -------------------------------------------
+
+// PartitionWidth returns the maximum number of edge columns per sub-relation.
+func (r *Relation) PartitionWidth() int { return r.partWidth }
+
+// PartitionOf returns the sub-relation index holding the columns of edge:
+// the clustered assignment when one is installed (SetPartitionMap /
+// ClusterPartitions), otherwise the default id/width rule.
+func (r *Relation) PartitionOf(edge EdgeID) int {
+	if p, ok := r.partMap[edge]; ok {
+		return p
+	}
+	return int(edge) / r.partWidth
+}
+
+// NumPartitions returns the number of sub-relations in use.
+func (r *Relation) NumPartitions() int {
+	if len(r.bitmaps) == 0 {
+		return 0
+	}
+	maxPart := 0
+	for e := range r.bitmaps {
+		if p := r.PartitionOf(e); p > maxPart {
+			maxPart = p
+		}
+	}
+	return maxPart + 1
+}
+
+// PartitionSpan returns how many distinct sub-relations the given edges touch.
+func (r *Relation) PartitionSpan(edges []EdgeID) int {
+	seen := make(map[int]struct{}, 4)
+	for _, e := range edges {
+		seen[r.PartitionOf(e)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// JoinPartitions simulates the recid-joins needed to reassemble records whose
+// columns span several sub-relations: (span-1) hash probes per answer record.
+// It both accounts the joins and burns the corresponding CPU work so
+// wall-clock measurements show the Fig. 5 trend.
+func (r *Relation) JoinPartitions(span int, answer *bitmap.Bitmap) {
+	if span <= 1 {
+		return
+	}
+	joins := span - 1
+	r.tracker.onPartitionJoin(joins * answer.Cardinality())
+	// Simulate the probe work: one pass over the answer per extra partition.
+	for i := 0; i < joins; i++ {
+		var sink uint32
+		answer.Each(func(rec uint32) bool {
+			sink ^= rec
+			return true
+		})
+		_ = sink
+	}
+}
+
+// --- materialized views ------------------------------------------------------
+
+// MaterializeView computes and stores graph view b_v = AND of the bitmaps of
+// the given edges. Building is a bulk operation and is not charged to query
+// I/O. The edge list is defensively copied, sorted and deduplicated.
+func (r *Relation) MaterializeView(name string, edges []EdgeID) (*GraphView, error) {
+	r.bumpVersion()
+	if name == "" {
+		return nil, fmt.Errorf("colstore: graph view needs a name")
+	}
+	if _, dup := r.views[name]; dup {
+		return nil, fmt.Errorf("colstore: graph view %q already exists", name)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("colstore: graph view %q has no edges", name)
+	}
+	es := normalizeEdges(edges)
+	bms := make([]*bitmap.Bitmap, 0, len(es))
+	for _, e := range es {
+		if b := r.EdgeBitmap(e); b != nil {
+			bms = append(bms, b)
+		} else {
+			bms = append(bms, emptyBitmap)
+		}
+	}
+	v := &GraphView{
+		Name:  name,
+		Edges: es,
+		Col:   NewBitmapColumnFrom(bitmap.AndAll(bms...)),
+	}
+	r.views[name] = v
+	return v, nil
+}
+
+// MaterializeAggView computes and stores an aggregate graph view for the
+// given path and aggregate function fn (§5.1.2). fn folds the per-edge
+// measures of one record (in path order) into the stored aggregate; records
+// missing a measure on any path edge are excluded from the view (their m_p
+// is NULL and their b_p bit unset), matching the NULL semantics of §5.1.2.
+// The bound function is retained so the view stays maintained as new records
+// are loaded.
+func (r *Relation) MaterializeAggView(name string, path []EdgeID, fn agg.Func) (*AggregateView, error) {
+	return r.MaterializeAggViewOn(name, path, fn, "")
+}
+
+// MaterializeAggViewOn is MaterializeAggView over a named measure column
+// ("" = default): the view stores F(m_e^measureName along path).
+func (r *Relation) MaterializeAggViewOn(name string, path []EdgeID, fn agg.Func, measureName string) (*AggregateView, error) {
+	r.bumpVersion()
+	if name == "" {
+		return nil, fmt.Errorf("colstore: aggregate view needs a name")
+	}
+	if _, dup := r.aggViews[name]; dup {
+		return nil, fmt.Errorf("colstore: aggregate view %q already exists", name)
+	}
+	if len(path) < 2 {
+		return nil, fmt.Errorf("colstore: aggregate view %q: path must have ≥2 edges (single edges are already stored)", name)
+	}
+	if !fn.Valid() {
+		return nil, fmt.Errorf("colstore: aggregate view %q: invalid aggregate function", name)
+	}
+	bms := make([]*bitmap.Bitmap, 0, len(path))
+	for _, e := range path {
+		if b := r.EdgeBitmap(e); b != nil {
+			bms = append(bms, b)
+		} else {
+			bms = append(bms, emptyBitmap)
+		}
+	}
+	contains := bitmap.AndAll(bms...)
+
+	measure := NewMeasureColumn()
+	col := NewBitmapColumn()
+	vals := make([]float64, len(path))
+	contains.Each(func(rec uint32) bool {
+		if r.pathMeasures(rec, path, measureName, vals) {
+			measure.Set(rec, fn.Aggregate(vals))
+			col.Set(rec)
+		}
+		return true
+	})
+
+	v := &AggregateView{
+		Name:        name,
+		Path:        append([]EdgeID(nil), path...),
+		Func:        fn.Name,
+		MeasureName: measureName,
+		Measure:     measure,
+		Col:         col,
+		fn:          fn,
+	}
+	r.aggViews[name] = v
+	return v, nil
+}
+
+// pathMeasures reads the measures of path's edges (under measureName) for
+// one record into vals, reporting whether all are present.
+func (r *Relation) pathMeasures(rec uint32, path []EdgeID, measureName string, vals []float64) bool {
+	for i, e := range path {
+		m := r.MeasureColumnNamed(e, measureName)
+		if m == nil {
+			return false
+		}
+		v, has := m.Get(rec)
+		if !has {
+			return false
+		}
+		vals[i] = v
+	}
+	return true
+}
+
+// UpdateViewsForRecord incrementally maintains every materialized view for a
+// freshly loaded record: loaders call it once after all of the record's
+// edges and measures are set, so views never go stale as the collection
+// grows. Aggregate views loaded from disk whose function could not be
+// re-bound are skipped (Load rejects unknown function names, so this cannot
+// happen for stores grove wrote itself).
+func (r *Relation) UpdateViewsForRecord(rec uint32) {
+	for _, v := range r.views {
+		all := true
+		for _, e := range v.Edges {
+			b, ok := r.bitmaps[e]
+			if !ok || !b.Contains(rec) {
+				all = false
+				break
+			}
+		}
+		if all {
+			v.Col.Set(rec)
+		}
+	}
+	for _, v := range r.aggViews {
+		if !v.fn.Valid() {
+			continue
+		}
+		vals := make([]float64, len(v.Path))
+		contains := true
+		for _, e := range v.Path {
+			b, ok := r.bitmaps[e]
+			if !ok || !b.Contains(rec) {
+				contains = false
+				break
+			}
+		}
+		if contains && r.pathMeasures(rec, v.Path, v.MeasureName, vals) {
+			v.Measure.Set(rec, v.fn.Aggregate(vals))
+			v.Col.Set(rec)
+		}
+	}
+}
+
+// HasViews reports whether any view (graph or aggregate) is materialized.
+func (r *Relation) HasViews() bool { return len(r.views) > 0 || len(r.aggViews) > 0 }
+
+// View returns a graph view by name, or nil.
+func (r *Relation) View(name string) *GraphView { return r.views[name] }
+
+// AggView returns an aggregate view by name, or nil.
+func (r *Relation) AggView(name string) *AggregateView { return r.aggViews[name] }
+
+// Views returns all graph views sorted by name.
+func (r *Relation) Views() []*GraphView {
+	out := make([]*GraphView, 0, len(r.views))
+	for _, v := range r.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AggViews returns all aggregate views sorted by name.
+func (r *Relation) AggViews() []*AggregateView {
+	out := make([]*AggregateView, 0, len(r.aggViews))
+	for _, v := range r.aggViews {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DropView removes a graph view.
+func (r *Relation) DropView(name string) bool {
+	r.bumpVersion()
+	if _, ok := r.views[name]; !ok {
+		return false
+	}
+	delete(r.views, name)
+	return true
+}
+
+// DropAggView removes an aggregate view.
+func (r *Relation) DropAggView(name string) bool {
+	r.bumpVersion()
+	if _, ok := r.aggViews[name]; !ok {
+		return false
+	}
+	delete(r.aggViews, name)
+	return true
+}
+
+// DropAllViews removes every materialized view, returning the relation to its
+// base (indexes-only) state.
+func (r *Relation) DropAllViews() {
+	r.bumpVersion()
+	r.views = make(map[string]*GraphView)
+	r.aggViews = make(map[string]*AggregateView)
+}
+
+// --- sizing ------------------------------------------------------------------
+
+// BaseSizeBytes is the payload size of base data: measure (default and
+// named) and bitmap columns.
+func (r *Relation) BaseSizeBytes() int64 {
+	var n int64
+	for _, m := range r.measures {
+		n += int64(m.SizeBytes())
+	}
+	for _, cols := range r.named {
+		for _, m := range cols {
+			n += int64(m.SizeBytes())
+		}
+	}
+	for _, b := range r.bitmaps {
+		n += int64(b.SizeBytes())
+	}
+	return n
+}
+
+// ViewSizeBytes is the payload size of all materialized view columns.
+func (r *Relation) ViewSizeBytes() int64 {
+	var n int64
+	for _, v := range r.views {
+		n += int64(v.Col.SizeBytes())
+	}
+	for _, v := range r.aggViews {
+		n += int64(v.Col.SizeBytes()) + int64(v.Measure.SizeBytes())
+	}
+	return n
+}
+
+// SizeBytes is the total payload size (base + views).
+func (r *Relation) SizeBytes() int64 { return r.BaseSizeBytes() + r.ViewSizeBytes() }
+
+// RunOptimize converts all bitmap columns to their most compact layouts.
+// Call after bulk loading.
+func (r *Relation) RunOptimize() {
+	for _, b := range r.bitmaps {
+		b.Bits().RunOptimize()
+	}
+	for _, m := range r.measures {
+		m.Present().RunOptimize()
+	}
+	for _, cols := range r.named {
+		for _, m := range cols {
+			m.Present().RunOptimize()
+		}
+	}
+	for _, v := range r.views {
+		v.Col.Bits().RunOptimize()
+	}
+	for _, v := range r.aggViews {
+		v.Col.Bits().RunOptimize()
+		v.Measure.Present().RunOptimize()
+	}
+}
+
+func normalizeEdges(edges []EdgeID) []EdgeID {
+	es := append([]EdgeID(nil), edges...)
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	out := es[:0]
+	var prev EdgeID
+	for i, e := range es {
+		if i == 0 || e != prev {
+			out = append(out, e)
+		}
+		prev = e
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package gpath
+
+import (
+	"fmt"
+
+	"grove/internal/graph"
+)
+
+// PathsThrough implements the region expression of §3.3:
+//
+//	[Src(Gq), Src(R)) ⋈ [Src(R), Ter(R)] ⋈ (Ter(R), Ter(Gq)]
+//
+// — the composite path of all maximal paths of g that enter region r at one
+// of its sources, traverse it to one of its terminals, and continue to a
+// terminal of g. Paths of g that bypass the region (the paper's [C,H,K]
+// example) are excluded by construction, because the path-join requires the
+// region segment.
+//
+// The middle segment is enumerated within r's own edges, so the region's
+// internal structure can also be swapped for a materialized aggregate view
+// when only its precomputed measures matter.
+func PathsThrough(g, r *graph.Graph, opts ...RegionOption) (Composite, error) {
+	var cfg regionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if r.NumElements() == 0 {
+		return Composite{}, fmt.Errorf("gpath: empty region")
+	}
+	for _, n := range r.Nodes() {
+		if !g.HasNode(n) {
+			return Composite{}, fmt.Errorf("gpath: region node %q not in graph", n)
+		}
+	}
+	rSrc, rTer := r.Sources(), r.Terminals()
+
+	// [Src(Gq), Src(R)): closed at the query source, open where the region
+	// begins (the region's own node measures belong to the middle segment).
+	head, err := AllPaths(g, g.Sources(), rSrc, false, true)
+	if err != nil {
+		return Composite{}, err
+	}
+	// Exclude head paths that wander through the region interior before
+	// reaching a region source: entering twice would double-count.
+	head = filterPaths(head, func(p Path) bool {
+		for _, n := range p.Nodes[:len(p.Nodes)-1] {
+			if r.HasNode(n) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// [Src(R), Ter(R)]: the region traversal, closed on both sides, using
+	// only region edges.
+	middle, err := AllPaths(r, rSrc, rTer, false, false)
+	if err != nil {
+		return Composite{}, err
+	}
+
+	// (Ter(R), Ter(Gq)]: open where the region ends, closed at the query
+	// terminal.
+	tail, err := AllPaths(g, rTer, g.Terminals(), true, false)
+	if err != nil {
+		return Composite{}, err
+	}
+	tail = filterPaths(tail, func(p Path) bool {
+		for _, n := range p.Nodes[1:] {
+			if r.HasNode(n) {
+				return false
+			}
+		}
+		return true
+	})
+
+	out := Composite{Paths: head}.Join(Composite{Paths: middle}).Join(Composite{Paths: tail})
+	if cfg.requireAll {
+		// Keep only paths visiting every region node (the §3.3 "articles
+		// that pass through all hubs of region 2" reading).
+		out.Paths = filterPaths(out.Paths, func(p Path) bool {
+			seen := make(map[string]struct{}, len(p.Nodes))
+			for _, n := range p.Nodes {
+				seen[n] = struct{}{}
+			}
+			for _, n := range r.Nodes() {
+				if _, ok := seen[n]; !ok {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// RegionOption tunes PathsThrough.
+type RegionOption func(*regionConfig)
+
+type regionConfig struct {
+	requireAll bool
+}
+
+// VisitAllRegionNodes keeps only paths that traverse every node of the
+// region, not just some source→terminal route through it.
+func VisitAllRegionNodes() RegionOption {
+	return func(c *regionConfig) { c.requireAll = true }
+}
+
+func filterPaths(in []Path, keep func(Path) bool) []Path {
+	out := in[:0]
+	for _, p := range in {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Coalesce returns a copy of g where the region's nodes are replaced by a
+// single aggregate node (§2's "aggregate node" / the zoom-out operator of
+// the authors' prior work): edges internal to the region disappear, edges
+// crossing the region boundary are redirected to the aggregate node. The
+// region's hidden detail is then typically served by a materialized
+// aggregate view keyed on the aggregate node's boundary paths.
+func Coalesce(g *graph.Graph, region *graph.Graph, aggNode string) (*graph.Graph, error) {
+	if region.NumElements() == 0 && len(region.Nodes()) == 0 {
+		return nil, fmt.Errorf("gpath: empty region")
+	}
+	if g.HasNode(aggNode) && !region.HasNode(aggNode) {
+		return nil, fmt.Errorf("gpath: aggregate node %q already exists outside the region", aggNode)
+	}
+	inRegion := make(map[string]struct{})
+	for _, n := range region.Nodes() {
+		inRegion[n] = struct{}{}
+	}
+	rename := func(n string) string {
+		if _, ok := inRegion[n]; ok {
+			return aggNode
+		}
+		return n
+	}
+	out := graph.NewGraph()
+	for _, k := range g.Elements() {
+		if k.IsNode() {
+			out.AddNode(rename(k.From))
+			continue
+		}
+		from, to := rename(k.From), rename(k.To)
+		if from == to && from == aggNode {
+			continue // internal region edge: hidden at this granularity
+		}
+		out.AddEdge(from, to)
+	}
+	out.AddNode(aggNode)
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package gpath
+
+import (
+	"testing"
+
+	"grove/internal/graph"
+)
+
+// region2 is the Fig. 1 region 2: hubs D, E, F, G with edges (D,E), (E,G),
+// (B,F)? No — region 2 contains D, E, F, G and the internal edges (D,E),
+// (E,G). (B,F) crosses the boundary. For the §3.3 expression the region
+// graph holds the internal structure only.
+func region2() *graph.Graph {
+	r := graph.NewGraph()
+	r.AddEdge("D", "E")
+	r.AddEdge("E", "G")
+	r.AddNode("F")
+	return r
+}
+
+func TestPathsThroughRegion(t *testing.T) {
+	g := paperFig1()
+	comp, err := PathsThrough(g, region2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region sources: {D, F are sources? F has no incoming edges *inside the
+	// region*, D likewise}. Region terminals: {G, F}. Maximal paths of g
+	// passing through D..G: A,D,E,G,I and A,D,E,G,K. F is an isolated region
+	// node: head [A,B,F) joins middle [F,F]? Single node path [F] from
+	// AllPaths(r, ...) has Len 0 — middle requires source→terminal paths;
+	// [F] is such a path (F is both). Then (F, J, K] continues. So A,B,F,J,K
+	// also qualifies.
+	found := map[string]bool{}
+	for _, p := range comp.Paths {
+		found[p.String()] = true
+	}
+	for _, want := range []string{"[A,D,E,G,I]", "[A,D,E,G,K]", "[A,B,F,J,K]"} {
+		if !found[want] {
+			t.Errorf("missing path %s; got %v", want, comp.Paths)
+		}
+	}
+	// The paper's point: [C,H,K] does NOT pass through region 2.
+	if found["[C,H,K]"] {
+		t.Error("[C,H,K] wrongly included")
+	}
+}
+
+func TestPathsThroughVisitAll(t *testing.T) {
+	g := paperFig1()
+	comp, err := PathsThrough(g, region2(), VisitAllRegionNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No single maximal path visits D, E, G AND F.
+	if comp.Len() != 0 {
+		t.Errorf("VisitAllRegionNodes kept %v", comp.Paths)
+	}
+
+	small := graph.NewGraph()
+	small.AddEdge("D", "E")
+	small.AddEdge("E", "G")
+	comp, err = PathsThrough(g, small, VisitAllRegionNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() != 2 { // A,D,E,G,I and A,D,E,G,K
+		t.Errorf("paths through D-E-G = %v", comp.Paths)
+	}
+}
+
+func TestPathsThroughErrors(t *testing.T) {
+	g := paperFig1()
+	if _, err := PathsThrough(g, graph.NewGraph()); err == nil {
+		t.Error("empty region accepted")
+	}
+	bad := graph.NewGraph()
+	bad.AddEdge("X", "Y")
+	if _, err := PathsThrough(g, bad); err == nil {
+		t.Error("region outside graph accepted")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	g := paperFig1()
+	r := graph.NewGraph()
+	r.AddEdge("D", "E")
+	r.AddEdge("E", "G")
+	out, err := Coalesce(g, r, "R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasEdge("A", "R2") {
+		t.Error("boundary edge (A,D) not redirected to (A,R2)")
+	}
+	if !out.HasEdge("R2", "I") || !out.HasEdge("R2", "K") {
+		t.Error("outgoing boundary edges not redirected")
+	}
+	if out.HasNode("D") || out.HasNode("E") || out.HasNode("G") {
+		t.Error("region internals leaked")
+	}
+	if !out.HasEdge("A", "B") || !out.HasEdge("C", "H") {
+		t.Error("unrelated edges lost")
+	}
+	// Internal edges (D,E),(E,G) are hidden; the aggregate node itself is a
+	// [R2,R2] node element.
+	if !out.HasNode("R2") {
+		t.Error("aggregate node missing")
+	}
+	if out.HasEdge("R2", "R2") {
+		t.Error("internal edge survived as a proper self-edge")
+	}
+}
+
+func TestCoalesceErrors(t *testing.T) {
+	g := paperFig1()
+	if _, err := Coalesce(g, graph.NewGraph(), "R"); err == nil {
+		t.Error("empty region accepted")
+	}
+	r := graph.NewGraph()
+	r.AddEdge("D", "E")
+	if _, err := Coalesce(g, r, "A"); err == nil {
+		t.Error("aggregate node clashing with existing node accepted")
+	}
+}
+
+func TestCoalesceIdempotentName(t *testing.T) {
+	// Using a region node's own name as the aggregate node is allowed.
+	g := paperFig1()
+	r := graph.NewGraph()
+	r.AddEdge("D", "E")
+	out, err := Coalesce(g, r, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasEdge("A", "D") || !out.HasEdge("D", "G") {
+		t.Errorf("coalesce onto member name failed: %v", out.Elements())
+	}
+}

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	var sb strings.Builder
+	if err := WriteDOT(&sb, "test", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`digraph "test"`, `"A" -> "B";`, `"B" -> "C";`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithMeasures(t *testing.T) {
+	rec := NewRecord()
+	if err := rec.SetEdge("A", "B", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SetNode("A", 7); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, "", rec.Graph, rec); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `label="2.5"`) {
+		t.Errorf("edge measure missing:\n%s", out)
+	}
+	if !strings.Contains(out, `label="A\\n7"`) {
+		t.Errorf("node measure missing:\n%s", out)
+	}
+}
+
+func TestWriteDOTNil(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, "x", nil, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"grove/internal/colstore"
+)
+
+// Registry implements the "universally adopted schema" of §3.1: it assigns a
+// stable column id to every structural element name so all records and
+// queries refer to common identifiers. Ids are dense (0, 1, 2, …) and double
+// as the column indexes of the master relation.
+type Registry struct {
+	ids  map[EdgeKey]colstore.EdgeID
+	keys []EdgeKey
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[EdgeKey]colstore.EdgeID)}
+}
+
+// ID returns the edge id of k, assigning the next free id on first use.
+func (r *Registry) ID(k EdgeKey) colstore.EdgeID {
+	if id, ok := r.ids[k]; ok {
+		return id
+	}
+	id := colstore.EdgeID(len(r.keys))
+	r.ids[k] = id
+	r.keys = append(r.keys, k)
+	return id
+}
+
+// Lookup returns the id of k without assigning.
+func (r *Registry) Lookup(k EdgeKey) (colstore.EdgeID, bool) {
+	id, ok := r.ids[k]
+	return id, ok
+}
+
+// Key returns the element named by id.
+func (r *Registry) Key(id colstore.EdgeID) (EdgeKey, bool) {
+	if int(id) >= len(r.keys) {
+		return EdgeKey{}, false
+	}
+	return r.keys[id], true
+}
+
+// Len returns the number of registered elements (the edge-domain size).
+func (r *Registry) Len() int { return len(r.keys) }
+
+// IDs maps a set of element keys to ids, assigning as needed.
+func (r *Registry) IDs(keys []EdgeKey) []colstore.EdgeID {
+	out := make([]colstore.EdgeID, len(keys))
+	for i, k := range keys {
+		out[i] = r.ID(k)
+	}
+	return out
+}
+
+// GraphIDs returns the ids of all elements of g, assigning as needed.
+func (r *Registry) GraphIDs(g *Graph) []colstore.EdgeID {
+	return r.IDs(g.Elements())
+}
+
+// Save writes the registry to path as JSON.
+func (r *Registry) Save(path string) error {
+	type entry struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+	}
+	entries := make([]entry, len(r.keys))
+	for i, k := range r.keys {
+		entries[i] = entry{From: k.From, To: k.To}
+	}
+	b, err := json.Marshal(entries)
+	if err != nil {
+		return fmt.Errorf("graph: save registry: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadRegistry reads a registry written by Save.
+func LoadRegistry(path string) (*Registry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load registry: %w", err)
+	}
+	type entry struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+	}
+	var entries []entry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("graph: load registry: %w", err)
+	}
+	r := NewRegistry()
+	for _, e := range entries {
+		r.ID(EdgeKey{From: e.From, To: e.To})
+	}
+	return r, nil
+}
+
+// LoadRecord appends a record to the master relation, assigning ids for any
+// new elements, and returns the record id. Records containing cycles are
+// flattened to DAGs first (§6.2), so path aggregation downstream behaves as
+// intended.
+func LoadRecord(rel *colstore.Relation, reg *Registry, rec *Record) uint32 {
+	if rec.HasCycle() {
+		rec = FlattenToDAG(rec)
+	}
+	id := rel.NewRecord()
+	names := rec.MeasureNames()
+	for _, k := range rec.Elements() {
+		eid := reg.ID(k)
+		if m := rec.Measure(k); m.Valid {
+			rel.SetEdgeMeasure(id, eid, m.Value)
+		} else {
+			rel.SetEdge(id, eid)
+		}
+		for _, name := range names {
+			if m := rec.MeasureNamed(k, name); m.Valid {
+				rel.SetEdgeMeasureNamed(id, eid, name, m.Value)
+			}
+		}
+	}
+	rel.UpdateViewsForRecord(id)
+	return id
+}

@@ -1,0 +1,153 @@
+package graphdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"grove/internal/graph"
+)
+
+func mkRecord(t *testing.T, edges map[[2]string]float64) *graph.Record {
+	t.Helper()
+	r := graph.NewRecord()
+	for e, v := range edges {
+		if err := r.SetEdge(e[0], e[1], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMatchQueryTraversal(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"C", "D"}: 4}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"B", "C"}: 5}))
+
+	got := s.MatchQuery([]graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("match = %v", got)
+	}
+	if got := s.MatchQuery([]graph.EdgeKey{graph.E("Z", "W")}); len(got) != 0 {
+		t.Errorf("unknown edge matched: %v", got)
+	}
+	if got := s.MatchQuery(nil); got != nil {
+		t.Errorf("empty query matched: %v", got)
+	}
+}
+
+func TestNodeElements(t *testing.T) {
+	s := New()
+	r := graph.NewRecord()
+	if err := r.SetEdge("A", "B", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetNode("A", 7); err != nil {
+		t.Fatal(err)
+	}
+	s.AddRecord(r)
+	got := s.MatchQuery([]graph.EdgeKey{graph.NodeKey("A")})
+	if len(got) != 1 {
+		t.Fatalf("node query = %v", got)
+	}
+	sum, n := s.FetchMeasures(got, []graph.EdgeKey{graph.NodeKey("A")})
+	if sum != 7 || n != 1 {
+		t.Errorf("node measure = %v,%d", sum, n)
+	}
+}
+
+func TestFetchMeasuresAndAggregate(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"B", "C"}: 4}))
+	q := []graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")}
+	sum, n := s.FetchMeasures([]uint32{0, 1}, q)
+	if sum != 10 || n != 4 {
+		t.Errorf("FetchMeasures = %v,%d", sum, n)
+	}
+	agg := s.AggregateAlongPath(q, 0, func(a, b float64) float64 { return a + b })
+	if agg[0] != 3 || agg[1] != 7 {
+		t.Errorf("aggregate = %v", agg)
+	}
+}
+
+func TestAggregateSkipsNullMeasures(t *testing.T) {
+	s := New()
+	r := graph.NewRecord()
+	if err := r.SetEdge("A", "B", 1); err != nil {
+		t.Fatal(err)
+	}
+	r.AddBareElement(graph.E("B", "C"))
+	s.AddRecord(r)
+	agg := s.AggregateAlongPath(
+		[]graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")},
+		0, func(a, b float64) float64 { return a + b })
+	if len(agg) != 0 {
+		t.Errorf("record with NULL measure aggregated: %v", agg)
+	}
+}
+
+func TestDiskSize(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1}))
+	// 2 nodes + 1 relationship (+props) + 2 index postings.
+	want := int64(2*(nodeRecordBytes+propRecordBytes) + relRecordBytes + propRecordBytes + 16)
+	if got := s.DiskSizeBytes(); got != want {
+		t.Errorf("DiskSizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestMatchRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := New()
+	var recs []*graph.Record
+	names := []string{"A", "B", "C", "D", "E"}
+	for i := 0; i < 200; i++ {
+		r := graph.NewRecord()
+		for j := 0; j < 3+rng.Intn(6); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a == b {
+				continue
+			}
+			if err := r.SetEdge(a, b, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs = append(recs, r)
+		s.AddRecord(r)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var q []graph.EdgeKey
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a != b {
+				q = append(q, graph.E(a, b))
+			}
+		}
+		if len(q) == 0 {
+			continue
+		}
+		got := s.MatchQuery(q)
+		var want []uint32
+		for i, r := range recs {
+			all := true
+			for _, k := range q {
+				if !r.HasElement(k) {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = append(want, uint32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}

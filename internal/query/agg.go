@@ -1,0 +1,25 @@
+// Package query implements grove's graph-query model and executor (paper
+// §3.2–§3.4, §4.2, §5.3): graph queries as subgraph-containment predicates
+// evaluated by ANDing bitmap columns, boolean combinations of graph queries,
+// path-aggregation queries, and the query-time greedy set-cover rewriting
+// that exploits materialized graph views.
+package query
+
+import "grove/internal/agg"
+
+// AggFunc is a distributive aggregate function usable for path aggregation
+// (§3.4). See the agg package for the distributivity contract that makes
+// materialized aggregate views reusable.
+type AggFunc = agg.Func
+
+// The built-in aggregate functions.
+var (
+	Sum   = agg.Sum
+	Min   = agg.Min
+	Max   = agg.Max
+	Count = agg.Count
+)
+
+// ByName resolves an aggregate function from its stored name (aggregate
+// views persist only the name).
+func ByName(name string) (AggFunc, bool) { return agg.ByName(name) }

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"grove/internal/bitmap"
+	"grove/internal/colstore"
+)
+
+// ResultCache memoizes structural answers keyed on the query's canonical
+// edge set. Entries are valid only for the relation version they were
+// computed at: ANY mutation (new record, measure, view, tag, delete)
+// invalidates the whole cache, which keeps correctness trivial — the
+// workloads grove targets are read-mostly between ingest batches (§2).
+//
+// The cache is bounded; when full, an arbitrary entry is evicted (map
+// iteration order), which is effectively random replacement.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	version  uint64
+	entries  map[string]*bitmap.Bitmap
+	hits     int64
+	misses   int64
+}
+
+// NewResultCache returns a cache holding up to capacity answers
+// (capacity ≤ 0 selects 256).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &ResultCache{
+		capacity: capacity,
+		entries:  make(map[string]*bitmap.Bitmap, capacity),
+	}
+}
+
+// cacheKey canonicalizes a query's edge-id universe.
+func cacheKey(universe []colstore.EdgeID) string {
+	var sb strings.Builder
+	for i, e := range universe {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%x", uint32(e))
+	}
+	return sb.String()
+}
+
+// get returns a cached answer for the universe at the given relation
+// version, or nil.
+func (c *ResultCache) get(version uint64, key string) *bitmap.Bitmap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version {
+		c.entries = make(map[string]*bitmap.Bitmap, c.capacity)
+		c.version = version
+		c.misses++
+		return nil
+	}
+	if b, ok := c.entries[key]; ok {
+		c.hits++
+		return b
+	}
+	c.misses++
+	return nil
+}
+
+// put stores an answer computed at the given version.
+func (c *ResultCache) put(version uint64, key string, answer *bitmap.Bitmap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version {
+		c.entries = make(map[string]*bitmap.Bitmap, c.capacity)
+		c.version = version
+	}
+	if len(c.entries) >= c.capacity {
+		for k := range c.entries { // random replacement
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = answer
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *ResultCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// EnableCache attaches a result cache to the engine (nil disables caching).
+func (e *Engine) EnableCache(c *ResultCache) { e.cache = c }

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"testing"
+
+	"grove/internal/graph"
+)
+
+func TestResultCacheHitsAndInvalidation(t *testing.T) {
+	f := newFig2Fixture(t)
+	cache := NewResultCache(16)
+	f.eng.EnableCache(cache)
+
+	q := pathQuery("A", "D", "E")
+	first, err := f.eng.ExecuteGraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FromCache() {
+		t.Error("first execution served from cache")
+	}
+	second, err := f.eng.ExecuteGraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromCache() {
+		t.Error("second execution missed the cache")
+	}
+	if !second.Answer.Equals(first.Answer) {
+		t.Fatal("cached answer differs")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses", hits, misses)
+	}
+
+	// A mutation invalidates: the next execution recomputes and must see
+	// the new record.
+	rec := graph.NewRecord()
+	for _, e := range [][2]string{{"A", "D"}, {"D", "E"}} {
+		if err := rec.SetEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	graph.LoadRecord(f.rel, f.reg, rec)
+	third, err := f.eng.ExecuteGraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.FromCache() {
+		t.Error("stale cache served after mutation")
+	}
+	if third.NumRecords() != first.NumRecords()+1 {
+		t.Errorf("answer after insert = %d, want %d",
+			third.NumRecords(), first.NumRecords()+1)
+	}
+}
+
+func TestResultCacheDeleteInvalidates(t *testing.T) {
+	f := newFig2Fixture(t)
+	f.eng.EnableCache(NewResultCache(16))
+	q := pathQuery("A", "D", "E")
+	if _, err := f.eng.ExecuteGraphQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rel.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.eng.ExecuteGraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache() {
+		t.Error("cache survived a delete")
+	}
+	if res.Answer.Contains(0) {
+		t.Error("deleted record in recomputed answer")
+	}
+}
+
+func TestResultCacheCapacity(t *testing.T) {
+	f := newFig2Fixture(t)
+	cache := NewResultCache(2)
+	f.eng.EnableCache(cache)
+	queries := []*GraphQuery{
+		pathQuery("A", "D"), pathQuery("D", "E"), pathQuery("E", "F"),
+	}
+	for _, q := range queries {
+		if _, err := f.eng.ExecuteGraphQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2 with 3 distinct queries: at most 2 live entries; re-running
+	// all three yields at least one hit and no wrong answers.
+	hitsBefore, _ := cache.Stats()
+	for _, q := range queries {
+		res, err := f.eng.ExecuteGraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.eng.EnableCache(nil)
+		fresh, err := f.eng.ExecuteGraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.eng.EnableCache(cache)
+		if !res.Answer.Equals(fresh.Answer) {
+			t.Fatalf("cached answer wrong for %s", q)
+		}
+	}
+	hitsAfter, _ := cache.Stats()
+	if hitsAfter <= hitsBefore {
+		t.Error("no cache hits on re-run")
+	}
+}
+
+func TestResultCacheDefaultCapacity(t *testing.T) {
+	c := NewResultCache(0)
+	if c.capacity != 256 {
+		t.Errorf("default capacity = %d", c.capacity)
+	}
+}

@@ -1,0 +1,467 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grove/internal/bitmap"
+	"grove/internal/colstore"
+	"grove/internal/gpath"
+	"grove/internal/graph"
+)
+
+// Engine executes graph queries over a master relation. UseViews controls
+// whether the planner rewrites queries against materialized views (§5.3) or
+// runs the view-oblivious plan; the Fig. 6–8 experiments compare the two.
+type Engine struct {
+	Rel      *colstore.Relation
+	Reg      *graph.Registry
+	UseViews bool
+
+	// cache, when set, memoizes structural answers across repeated queries
+	// (invalidated wholesale on any relation mutation).
+	cache *ResultCache
+}
+
+// NewEngine returns a view-aware engine.
+func NewEngine(rel *colstore.Relation, reg *graph.Registry) *Engine {
+	return &Engine{Rel: rel, Reg: reg, UseViews: true}
+}
+
+// queryEdgeIDs resolves the structural elements of a query graph to edge
+// ids. Elements unknown to the registry resolve to a sentinel id that has an
+// empty bitmap, so queries referencing never-seen elements return empty
+// answers (after paying for the fetch, as a real column store would).
+func (e *Engine) queryEdgeIDs(g *graph.Graph) []colstore.EdgeID {
+	elems := g.Elements()
+	out := make([]colstore.EdgeID, 0, len(elems))
+	seen := make(map[colstore.EdgeID]struct{}, len(elems))
+	for _, k := range elems {
+		id, ok := e.Reg.Lookup(k)
+		if !ok {
+			// Stable unseen id outside the registered range.
+			id = colstore.EdgeID(uint32(e.Reg.Len()) + uint32(len(out)) + 1<<24)
+		}
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Result is the structural answer of a graph query: the set of matching
+// record ids, plus the plan that produced it. Measures are fetched
+// separately (FetchMeasures) so experiments can time the two phases the way
+// Figs. 6–7 break them down.
+type Result struct {
+	Query  *GraphQuery
+	Plan   CoverPlan
+	Answer *bitmap.Bitmap
+
+	eng    *Engine
+	cached bool
+}
+
+// FromCache reports whether the answer was served from the result cache.
+func (r *Result) FromCache() bool { return r.cached }
+
+// NumRecords returns the answer cardinality.
+func (r *Result) NumRecords() int { return r.Answer.Cardinality() }
+
+// ExecuteGraphQuery evaluates the structural part of a graph query:
+// plan (greedy rewrite when UseViews), fetch the planned bitmap columns, AND
+// them (§4.2).
+func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
+	if q == nil || q.G == nil || q.G.NumElements() == 0 {
+		return nil, fmt.Errorf("query: empty graph query")
+	}
+	universe := e.queryEdgeIDs(q.G)
+	var key string
+	if e.cache != nil {
+		key = cacheKey(universe)
+		if answer := e.cache.get(e.Rel.Version(), key); answer != nil {
+			e.Rel.AccountRecordsReturned(answer.Cardinality())
+			return &Result{Query: q, Plan: CoverPlan{}, Answer: answer, eng: e, cached: true}, nil
+		}
+	}
+	var plan CoverPlan
+	if e.UseViews {
+		plan = PlanCover(e.Rel, universe)
+	} else {
+		plan = PlanWithoutViews(universe)
+	}
+
+	bms := make([]*bitmap.Bitmap, 0, plan.NumBitmaps())
+	for _, name := range plan.Views {
+		b, err := e.Rel.FetchViewBitmap(name)
+		if err != nil {
+			return nil, err
+		}
+		bms = append(bms, b)
+	}
+	for _, name := range plan.AggViews {
+		b, err := e.Rel.FetchAggViewBitmap(name)
+		if err != nil {
+			return nil, err
+		}
+		bms = append(bms, b)
+	}
+	for _, id := range plan.Edges {
+		bms = append(bms, e.Rel.FetchEdgeBitmap(id))
+	}
+	answer := e.Rel.MaskDeleted(bitmap.AndAll(bms...))
+	if e.cache != nil {
+		e.cache.put(e.Rel.Version(), key, answer)
+	}
+	e.Rel.AccountRecordsReturned(answer.Cardinality())
+	return &Result{Query: q, Plan: plan, Answer: answer, eng: e}, nil
+}
+
+// FetchMeasures materializes the measures of the matched subgraph for every
+// answer record (the mandatory lower part of the Fig. 6 time breakdown).
+// It fetches the measure column of every query element, reads the value for
+// each answer record, and accounts the cross-partition record reassembly
+// joins (§6.1). It returns the number of measure values read.
+func (r *Result) FetchMeasures() int64 {
+	if r.Answer.IsEmpty() {
+		return 0 // nothing qualified; no measure columns are read
+	}
+	e := r.eng
+	elems := r.Query.G.Elements()
+	recs := r.Answer.ToSlice()
+	var scanned int64
+	var spanEdges []colstore.EdgeID
+	var sink float64
+	names := append([]string{""}, e.Rel.MeasureNames()...)
+	for _, k := range elems {
+		id, ok := e.Reg.Lookup(k)
+		if !ok {
+			continue
+		}
+		spanned := false
+		for _, name := range names {
+			if name != "" && e.Rel.MeasureColumnNamed(id, name) == nil {
+				continue // column does not exist for this edge; nothing read
+			}
+			col := e.Rel.FetchMeasureColumnNamed(id, name)
+			if col == nil {
+				continue
+			}
+			if !spanned {
+				spanEdges = append(spanEdges, id)
+				spanned = true
+			}
+			values, present := col.ValuesFor(recs)
+			for i, has := range present {
+				if has {
+					sink += values[i]
+					scanned++
+				}
+			}
+		}
+	}
+	_ = sink
+	e.Rel.AccountMeasuresScanned(int(scanned))
+	e.Rel.JoinPartitions(e.Rel.PartitionSpan(spanEdges), r.Answer)
+	return scanned
+}
+
+// EvalExpr evaluates a boolean combination of graph queries (§3.2) and
+// returns the combined answer set.
+func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
+	switch x := expr.(type) {
+	case Leaf:
+		res, err := e.ExecuteGraphQuery(x.Q)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case And:
+		if len(x.Operands) == 0 {
+			return nil, fmt.Errorf("query: AND with no operands")
+		}
+		acc, err := e.EvalExpr(x.Operands[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range x.Operands[1:] {
+			b, err := e.EvalExpr(op)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.And(b)
+		}
+		return acc, nil
+	case Or:
+		if len(x.Operands) == 0 {
+			return nil, fmt.Errorf("query: OR with no operands")
+		}
+		acc, err := e.EvalExpr(x.Operands[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range x.Operands[1:] {
+			b, err := e.EvalExpr(op)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.Or(b)
+		}
+		return acc, nil
+	case Diff:
+		a, err := e.EvalExpr(x.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.EvalExpr(x.B)
+		if err != nil {
+			return nil, err
+		}
+		return a.AndNot(b), nil
+	default:
+		return nil, fmt.Errorf("query: unknown expression node %T", expr)
+	}
+}
+
+// --- path aggregation ---------------------------------------------------------
+
+// pathSegment is one covered stretch of a query path: either a materialized
+// aggregate view (ViewName != "") or a single raw edge.
+type pathSegment struct {
+	ViewName string
+	Edge     colstore.EdgeID
+	Length   int // edges covered
+}
+
+// AggResult holds a path aggregation answer: for every maximal path of the
+// query graph and every answer record, the folded aggregate. Values[p][i] is
+// aligned with RecordIDs[i]; NaN marks NULL (some measure missing).
+type AggResult struct {
+	Query     *PathAggQuery
+	Answer    *bitmap.Bitmap
+	RecordIDs []uint32
+	Paths     []gpath.Path
+	Values    [][]float64
+
+	// SegmentsPerPath records how each path was covered, for plan inspection
+	// and tests: counts of (view segments, raw edge segments).
+	SegmentsPerPath [][2]int
+}
+
+// FoldAcrossPaths consolidates the per-path aggregates of each record with
+// the query's Fold (e.g. MAX over all routes, as in Q3). NULL paths are
+// skipped; a record with no non-NULL path folds to NaN.
+func (r *AggResult) FoldAcrossPaths() []float64 {
+	out := make([]float64, len(r.RecordIDs))
+	for i := range out {
+		acc := r.Query.Agg.Identity
+		any := false
+		for p := range r.Paths {
+			v := r.Values[p][i]
+			if !math.IsNaN(v) {
+				acc = r.Query.Agg.Fold(acc, v)
+				any = true
+			}
+		}
+		if any {
+			out[i] = acc
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// coverPath covers a path's edge sequence with materialized aggregate views
+// of the same function (longest match at each position), falling back to raw
+// edges — the measure-side rewriting of §5.1.2. Views are matched on their
+// exact edge sequence so stored folds compose correctly.
+func coverPath(rel *colstore.Relation, pathEdges []colstore.EdgeID, funcName, measureName string, useViews bool) []pathSegment {
+	var views []*colstore.AggregateView
+	if useViews {
+		for _, v := range rel.AggViews() {
+			if v.Func == funcName && v.MeasureName == measureName && len(v.Path) <= len(pathEdges) {
+				views = append(views, v)
+			}
+		}
+		sort.Slice(views, func(i, j int) bool {
+			if len(views[i].Path) != len(views[j].Path) {
+				return len(views[i].Path) > len(views[j].Path) // longest first
+			}
+			return views[i].Name < views[j].Name
+		})
+	}
+	var out []pathSegment
+	for i := 0; i < len(pathEdges); {
+		matched := false
+		for _, v := range views {
+			if i+len(v.Path) > len(pathEdges) {
+				continue
+			}
+			ok := true
+			for j, e := range v.Path {
+				if pathEdges[i+j] != e {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, pathSegment{ViewName: v.Name, Length: len(v.Path)})
+				i += len(v.Path)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, pathSegment{Edge: pathEdges[i], Length: 1})
+			i++
+		}
+	}
+	return out
+}
+
+// ExecutePathAggQuery evaluates F_Gq (§3.4): structural filtering as for a
+// graph query, then per-record aggregation along every maximal path, folding
+// stored aggregate-view values where the path is covered by views.
+func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
+	if q == nil || q.G == nil || q.G.NumElements() == 0 {
+		return nil, fmt.Errorf("query: empty path aggregation query")
+	}
+	if q.Agg.Fold == nil || q.Agg.Lift == nil {
+		return nil, fmt.Errorf("query: aggregation function not set")
+	}
+	structural, err := e.ExecuteGraphQuery(&GraphQuery{G: q.G})
+	if err != nil {
+		return nil, err
+	}
+	paths := q.Paths
+	if len(paths) == 0 {
+		paths, err = gpath.MaximalPaths(q.G)
+		if err != nil {
+			return nil, err
+		}
+	}
+	answer := structural.Answer
+	res := &AggResult{
+		Query:     q,
+		Answer:    answer,
+		RecordIDs: answer.ToSlice(),
+		Paths:     paths,
+	}
+
+	// Column caches so shared segments across paths are fetched once.
+	measureCols := make(map[colstore.EdgeID]*colstore.MeasureColumn)
+	viewCols := make(map[string]*colstore.MeasureColumn)
+	fetchMeasure := func(id colstore.EdgeID) *colstore.MeasureColumn {
+		if c, ok := measureCols[id]; ok {
+			return c
+		}
+		c := e.Rel.FetchMeasureColumnNamed(id, q.Measure)
+		measureCols[id] = c
+		return c
+	}
+	fetchView := func(name string) (*colstore.MeasureColumn, error) {
+		if c, ok := viewCols[name]; ok {
+			return c, nil
+		}
+		c, err := e.Rel.FetchAggViewMeasure(name)
+		if err != nil {
+			return nil, err
+		}
+		viewCols[name] = c
+		return c, nil
+	}
+
+	scanned := 0
+	for _, p := range paths {
+		ids := make([]colstore.EdgeID, 0, p.Len())
+		for _, k := range p.Edges() {
+			id, ok := e.Reg.Lookup(k)
+			if !ok {
+				id = colstore.EdgeID(1<<24) + colstore.EdgeID(e.Reg.Len())
+			}
+			ids = append(ids, id)
+		}
+		segs := coverPath(e.Rel, ids, q.Agg.Name, q.Measure, e.UseViews)
+		viewSegs, rawSegs := 0, 0
+
+		// Resolve the columns each segment reads and batch-read them
+		// column-at-a-time over the answer set.
+		type boundSeg struct {
+			values  []float64
+			present []bool
+			isView  bool
+		}
+		bind := func(col *colstore.MeasureColumn, isView bool) boundSeg {
+			if col == nil {
+				return boundSeg{isView: isView}
+			}
+			v, pr := col.ValuesFor(res.RecordIDs)
+			return boundSeg{values: v, present: pr, isView: isView}
+		}
+		bound := make([]boundSeg, 0, len(segs))
+		for _, s := range segs {
+			if s.ViewName != "" {
+				c, err := fetchView(s.ViewName)
+				if err != nil {
+					return nil, err
+				}
+				bound = append(bound, bind(c, true))
+				viewSegs++
+			} else {
+				bound = append(bound, bind(fetchMeasure(s.Edge), false))
+				rawSegs++
+			}
+		}
+		// Node-measure columns (when the application measured nodes).
+		var nodeCols []boundSeg
+		for _, n := range p.MeasuredNodes() {
+			if id, ok := e.Reg.Lookup(graph.NodeKey(n)); ok {
+				if e.Rel.MeasureColumn(id) != nil {
+					nodeCols = append(nodeCols, bind(fetchMeasure(id), false))
+				}
+			}
+		}
+
+		vals := make([]float64, len(res.RecordIDs))
+		for i := range res.RecordIDs {
+			acc := q.Agg.Identity
+			null := false
+			for _, bs := range bound {
+				if bs.values == nil || !bs.present[i] {
+					null = true
+					break
+				}
+				if bs.isView {
+					acc = q.Agg.Fold(acc, bs.values[i]) // stored partial fold
+				} else {
+					acc = q.Agg.Fold(acc, q.Agg.Lift(bs.values[i]))
+				}
+				scanned++
+			}
+			if !null {
+				for _, nc := range nodeCols {
+					if nc.values != nil && nc.present[i] {
+						acc = q.Agg.Fold(acc, q.Agg.Lift(nc.values[i]))
+						scanned++
+					}
+				}
+				vals[i] = acc
+			} else {
+				vals[i] = math.NaN()
+			}
+		}
+		res.Values = append(res.Values, vals)
+		res.SegmentsPerPath = append(res.SegmentsPerPath, [2]int{viewSegs, rawSegs})
+	}
+
+	e.Rel.AccountMeasuresScanned(scanned)
+	spanEdges := make([]colstore.EdgeID, 0, len(measureCols))
+	for id := range measureCols {
+		spanEdges = append(spanEdges, id)
+	}
+	e.Rel.JoinPartitions(e.Rel.PartitionSpan(spanEdges), answer)
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"grove/internal/colstore"
+	"grove/internal/graph"
+)
+
+func TestExplainWithViews(t *testing.T) {
+	f := newFig2Fixture(t)
+	e2, _ := f.reg.Lookup(graph.E("A", "C"))
+	e3, _ := f.reg.Lookup(graph.E("C", "E"))
+	if _, err := f.rel.MaterializeView("v23", []colstore.EdgeID{e2, e3}); err != nil {
+		t.Fatal(err)
+	}
+	q := pathQuery("A", "C", "E", "F")
+	ex, err := f.eng.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Universe != 3 {
+		t.Errorf("Universe = %d", ex.Universe)
+	}
+	if len(ex.Views) != 1 || ex.Views[0] != "v23" {
+		t.Errorf("Views = %v", ex.Views)
+	}
+	if ex.ResidualEdges != 1 || ex.BitmapsFetched != 2 || ex.BitmapsSaved != 1 {
+		t.Errorf("plan figures = %+v", ex)
+	}
+	if len(ex.UnknownElements) != 0 {
+		t.Errorf("UnknownElements = %v", ex.UnknownElements)
+	}
+	out := ex.String()
+	for _, want := range []string{"universe: 3 edges", "views: v23", "saved vs oblivious plan: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+	// Explaining must not account I/O.
+	f.rel.Tracker().Reset()
+	if _, err := f.eng.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if f.rel.Tracker().Snapshot().ColumnsFetched() != 0 {
+		t.Error("Explain charged I/O")
+	}
+}
+
+func TestExplainUnknownElements(t *testing.T) {
+	f := newFig2Fixture(t)
+	ex, err := f.eng.Explain(pathQuery("A", "ZZZ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.UnknownElements) != 1 {
+		t.Errorf("UnknownElements = %v", ex.UnknownElements)
+	}
+	if !strings.Contains(ex.String(), "WARNING") {
+		t.Error("warning missing from rendering")
+	}
+	if _, err := f.eng.Explain(nil); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+func TestExplainObliviousMode(t *testing.T) {
+	f := newFig2Fixture(t)
+	e6, _ := f.reg.Lookup(graph.E("E", "F"))
+	e7, _ := f.reg.Lookup(graph.E("F", "G"))
+	if _, err := f.rel.MaterializeView("v67", []colstore.EdgeID{e6, e7}); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.UseViews = false
+	ex, err := f.eng.ExplainGraph(pathQuery("E", "F", "G").G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Views) != 0 || ex.BitmapsSaved != 0 {
+		t.Errorf("oblivious explain used views: %+v", ex)
+	}
+}

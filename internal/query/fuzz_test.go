@@ -1,0 +1,34 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the query-language parser never panics and that parsed
+// statements are well-formed (exactly one of Expr/Agg set).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"[A,B]",
+		"[A,B] AND [C,D]",
+		"[A,B] AND NOT ([C,D] OR [E,F])",
+		"SUM [A,B,C]",
+		"MAX<cost> [C,H]",
+		"sum [a#2,b.c]",
+		"[A,B] XOR",
+		"((((",
+		"SUM<",
+		"[,]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if (st.Expr == nil) == (st.Agg == nil) {
+			t.Fatalf("Parse(%q): exactly one of Expr/Agg must be set", input)
+		}
+		if st.Agg != nil && st.Agg.G.NumElements() == 0 {
+			t.Fatalf("Parse(%q): empty aggregation graph accepted", input)
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"grove/internal/gpath"
+)
+
+// This file implements grove's small text query language, a convenience
+// front-end over the §3.2–§3.4 query model used by grovecli and tests:
+//
+//	statement   := aggStatement | expr
+//	aggStatement:= FUNC measure? path            e.g. SUM [A,D,E,G,I]
+//	measure     := '<' name '>'                  e.g. SUM<cost> [C,H]
+//	expr        := orExpr
+//	orExpr      := andExpr ('OR' andExpr)*
+//	andExpr     := unary (('AND' 'NOT'? ) unary)*
+//	unary       := path | '(' expr ')'
+//	path        := '[' node (',' node)* ']'      closed path (≥2 nodes)
+//
+// Keywords are case-insensitive; node names are any run of letters, digits,
+// '_', '#', '-' or '.'.
+
+// Statement is a parsed query: exactly one of Expr (a boolean graph query)
+// or Agg (a path aggregation) is set.
+type Statement struct {
+	Expr Expr
+	Agg  *PathAggQuery
+}
+
+// Parse parses one statement of the query language.
+func Parse(input string) (Statement, error) {
+	p := &parser{toks: lex(input)}
+	// Aggregation statement?
+	if name, ok := p.peekWord(); ok {
+		if fn, isAgg := ByName(strings.ToUpper(name)); isAgg {
+			p.next()
+			measure := ""
+			if p.accept("<") {
+				m, ok := p.peekWord()
+				if !ok {
+					return Statement{}, p.errorf("expected measure name after '<'")
+				}
+				p.next()
+				measure = m
+				if !p.accept(">") {
+					return Statement{}, p.errorf("expected '>' after measure name")
+				}
+			}
+			path, err := p.parsePath()
+			if err != nil {
+				return Statement{}, err
+			}
+			if err := p.expectEOF(); err != nil {
+				return Statement{}, err
+			}
+			return Statement{Agg: NewPathAggQueryOn(path.ToGraph(), fn, measure)}, nil
+		}
+	}
+	expr, err := p.parseOr()
+	if err != nil {
+		return Statement{}, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return Statement{}, err
+	}
+	return Statement{Expr: expr}, nil
+}
+
+// --- lexer -------------------------------------------------------------------
+
+type token struct {
+	kind string // "word", "[", "]", "(", ")", ",", "<", ">"
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.ContainsRune("[](),<>", c):
+			toks = append(toks, token{kind: string(c), pos: i})
+			i++
+		case isNameRune(c):
+			j := i
+			for j < len(input) && isNameRune(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: "word", text: input[i:j], pos: i})
+			i = j
+		default:
+			toks = append(toks, token{kind: "err", text: string(c), pos: i})
+			i++
+		}
+	}
+	return toks
+}
+
+func isNameRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) ||
+		c == '_' || c == '#' || c == '-' || c == '.'
+}
+
+// --- parser ------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.i >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.i], true
+}
+
+func (p *parser) peekWord() (string, bool) {
+	t, ok := p.peek()
+	if !ok || t.kind != "word" {
+		return "", false
+	}
+	return t.text, true
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	p.i++
+	return t
+}
+
+func (p *parser) accept(kind string) bool {
+	if t, ok := p.peek(); ok && t.kind == kind {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if w, ok := p.peekWord(); ok && strings.EqualFold(w, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	pos := -1
+	if t, ok := p.peek(); ok {
+		pos = t.pos
+	}
+	return fmt.Errorf("query: parse error at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectEOF() error {
+	if t, ok := p.peek(); ok {
+		return p.errorf("unexpected %q after end of statement", tokenText(t))
+	}
+	return nil
+}
+
+func tokenText(t token) string {
+	if t.kind == "word" || t.kind == "err" {
+		return t.text
+	}
+	return t.kind
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	operands := []Expr{left}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, right)
+	}
+	if len(operands) == 1 {
+		return left, nil
+	}
+	return Or{Operands: operands}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		if p.acceptKeyword("NOT") {
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = Diff{A: left, B: right}
+			continue
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if a, ok := left.(And); ok {
+			a.Operands = append(a.Operands, right)
+			left = a
+		} else {
+			left = And{Operands: []Expr{left, right}}
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errorf("expected ')'")
+		}
+		return e, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	return Leaf{Q: NewGraphQuery(path.ToGraph())}, nil
+}
+
+func (p *parser) parsePath() (gpath.Path, error) {
+	if !p.accept("[") {
+		return gpath.Path{}, p.errorf("expected '[' starting a path")
+	}
+	var nodes []string
+	for {
+		w, ok := p.peekWord()
+		if !ok {
+			return gpath.Path{}, p.errorf("expected node name in path")
+		}
+		p.next()
+		nodes = append(nodes, w)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if !p.accept("]") {
+		return gpath.Path{}, p.errorf("expected ']' closing the path")
+	}
+	if len(nodes) < 2 {
+		return gpath.Path{}, fmt.Errorf("query: a path needs at least 2 nodes, got %v", nodes)
+	}
+	path := gpath.Closed(nodes...)
+	if !path.Valid() {
+		return gpath.Path{}, fmt.Errorf("query: %s repeats a node", path)
+	}
+	return path, nil
+}

@@ -1,0 +1,151 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePathQuery(t *testing.T) {
+	st, err := Parse("[A,D,E]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != nil {
+		t.Fatal("path query parsed as aggregation")
+	}
+	leaf, ok := st.Expr.(Leaf)
+	if !ok {
+		t.Fatalf("Expr = %T", st.Expr)
+	}
+	if !leaf.Q.G.HasEdge("A", "D") || !leaf.Q.G.HasEdge("D", "E") {
+		t.Errorf("parsed edges: %v", leaf.Q.G.Elements())
+	}
+}
+
+func TestParseBooleanOps(t *testing.T) {
+	cases := map[string]string{
+		"[A,B] AND [C,D]":            "(Gq{(A,B)} AND Gq{(C,D)})",
+		"[A,B] OR [C,D]":             "(Gq{(A,B)} OR Gq{(C,D)})",
+		"[A,B] AND NOT [C,D]":        "(Gq{(A,B)} AND NOT Gq{(C,D)})",
+		"[A,B] AND [C,D] AND [E,F]":  "(Gq{(A,B)} AND Gq{(C,D)} AND Gq{(E,F)})",
+		"([A,B] OR [C,D]) AND [E,F]": "((Gq{(A,B)} OR Gq{(C,D)}) AND Gq{(E,F)})",
+		"[A,B] and not [C,D]":        "(Gq{(A,B)} AND NOT Gq{(C,D)})", // case-insensitive
+	}
+	for input, want := range cases {
+		st, err := Parse(input)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", input, err)
+			continue
+		}
+		if got := st.Expr.String(); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", input, got, want)
+		}
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	st, err := Parse("SUM [A,D,E,G,I]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg == nil {
+		t.Fatal("aggregation parsed as expression")
+	}
+	if st.Agg.Agg.Name != "SUM" || st.Agg.Measure != "" {
+		t.Errorf("Agg = %+v", st.Agg)
+	}
+	if st.Agg.G.NumElements() != 4 {
+		t.Errorf("path edges = %d", st.Agg.G.NumElements())
+	}
+}
+
+func TestParseAggregationWithMeasure(t *testing.T) {
+	st, err := Parse("max<cost> [C,H]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg == nil || st.Agg.Agg.Name != "MAX" || st.Agg.Measure != "cost" {
+		t.Fatalf("Agg = %+v", st.Agg)
+	}
+}
+
+func TestParseNodeNameCharacters(t *testing.T) {
+	st, err := Parse("[Received#2,n_1.a-b]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := st.Expr.(Leaf)
+	if !leaf.Q.G.HasEdge("Received#2", "n_1.a-b") {
+		t.Errorf("edges = %v", leaf.Q.G.Elements())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"[A]",             // single node
+		"[A,B",            // unclosed path
+		"A,B]",            // missing open bracket
+		"[A,B] AND",       // dangling operator
+		"[A,B] [C,D]",     // juxtaposition
+		"([A,B]",          // unclosed paren
+		"[A,B] XOR [C,D]", // unknown operator
+		"SUM",             // aggregation without path
+		"SUM<cost [A,B]",  // unclosed measure
+		"SUM<> [A,B]",     // empty measure
+		"[A,B,A]",         // repeated node
+		"[A;B]",           // bad rune
+		"[A,B] AND NOT",   // dangling NOT
+		"MEDIAN2 [A,B] ]", // trailing token after expr
+		"SUM [A,B] [C,D]", // trailing path after agg
+	}
+	for _, input := range cases {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) accepted", input)
+		}
+	}
+}
+
+func TestParseEvalEndToEnd(t *testing.T) {
+	f := newFig2Fixture(t)
+	st, err := Parse("[A,D,E] AND NOT [E,F]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := f.eng.EvalExpr(st.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three records contain (A,D),(D,E); r2, r3 contain (E,F) → r1 only.
+	if got := ids.ToSlice(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("answer = %v, want [0]", got)
+	}
+
+	agg, err := Parse("SUM [A,C,E,F]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.eng.ExecutePathAggQuery(agg.Agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RecordIDs) != 1 || res.Values[0][0] != 7 {
+		t.Fatalf("SUM result = %v / %v", res.RecordIDs, res.Values)
+	}
+}
+
+func TestParseKeywordsNotNodes(t *testing.T) {
+	// AND/OR inside a path are node names (paths are bracketed), outside
+	// they are operators.
+	st, err := Parse("[AND,OR]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := st.Expr.(Leaf)
+	if !leaf.Q.G.HasEdge("AND", "OR") {
+		t.Errorf("edges = %v", leaf.Q.G.Elements())
+	}
+	if _, err := Parse(strings.Repeat("[A,B] AND ", 3) + "[C,D]"); err != nil {
+		t.Errorf("chained ANDs rejected: %v", err)
+	}
+}

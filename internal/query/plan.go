@@ -1,0 +1,122 @@
+package query
+
+import (
+	"sort"
+
+	"grove/internal/colstore"
+)
+
+// CoverPlan is the outcome of rewriting a graph query against the
+// materialized views (§5.3): which graph-view bitmaps, aggregate-view
+// bitmaps and residual single-edge bitmaps to AND together. The number of
+// bitmaps in the plan is exactly the query's structural I/O cost under the
+// paper's cost model.
+type CoverPlan struct {
+	Views    []string          // graph views b_v used
+	AggViews []string          // aggregate-view bitmaps b_p used as filters
+	Edges    []colstore.EdgeID // residual single-edge bitmaps b_i
+}
+
+// NumBitmaps returns the number of bitmap columns the plan fetches.
+func (p CoverPlan) NumBitmaps() int {
+	return len(p.Views) + len(p.AggViews) + len(p.Edges)
+}
+
+// candidate is one coverable set during greedy selection.
+type candidate struct {
+	name  string
+	isAgg bool
+	edges []colstore.EdgeID
+}
+
+// PlanCover rewrites a query with edge universe `universe` using the greedy
+// set-cover algorithm of §5.3: the candidate sets are the materialized views
+// whose edge sets are subgraphs of the query, plus the atomic single-edge
+// bitmaps; the algorithm repeatedly picks the set covering the most
+// still-uncovered query edges. It is the single-universe instance of the
+// extended set cover problem and an H(n)-approximation of the optimal
+// rewriting.
+//
+// Only views that are subsets of the query are usable: ANDing a bitmap of a
+// non-subset view would over-filter the answer.
+func PlanCover(rel *colstore.Relation, universe []colstore.EdgeID) CoverPlan {
+	if !rel.HasViews() {
+		return PlanWithoutViews(universe) // nothing to rewrite against
+	}
+	uncovered := make(map[colstore.EdgeID]struct{}, len(universe))
+	for _, e := range universe {
+		uncovered[e] = struct{}{}
+	}
+
+	var cands []candidate
+	for _, v := range rel.Views() {
+		if subsetOf(v.Edges, uncovered) {
+			cands = append(cands, candidate{name: v.Name, edges: v.Edges})
+		}
+	}
+	for _, v := range rel.AggViews() {
+		if subsetOf(v.Path, uncovered) {
+			cands = append(cands, candidate{name: v.Name, isAgg: true, edges: v.Path})
+		}
+	}
+	// Deterministic order: graph views before aggregate views, then by name.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].isAgg != cands[j].isAgg {
+			return !cands[i].isAgg
+		}
+		return cands[i].name < cands[j].name
+	})
+
+	var plan CoverPlan
+	for len(uncovered) > 0 {
+		bestIdx, bestGain := -1, 1 // a view must beat a single-edge bitmap
+		for i, c := range cands {
+			gain := 0
+			for _, e := range c.edges {
+				if _, ok := uncovered[e]; ok {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			break // atomic edges are at least as good; stop per §5.2
+		}
+		c := cands[bestIdx]
+		if c.isAgg {
+			plan.AggViews = append(plan.AggViews, c.name)
+		} else {
+			plan.Views = append(plan.Views, c.name)
+		}
+		for _, e := range c.edges {
+			delete(uncovered, e)
+		}
+	}
+	// Residual single-edge bitmaps, in ascending id order for determinism.
+	plan.Edges = make([]colstore.EdgeID, 0, len(uncovered))
+	for e := range uncovered {
+		plan.Edges = append(plan.Edges, e)
+	}
+	sort.Slice(plan.Edges, func(i, j int) bool { return plan.Edges[i] < plan.Edges[j] })
+	return plan
+}
+
+// PlanWithoutViews returns the oblivious plan that fetches every edge bitmap
+// directly, ignoring materialized views. It is the baseline the paper's
+// "oblivious to the existing materialized graph views" comparison uses.
+func PlanWithoutViews(universe []colstore.EdgeID) CoverPlan {
+	edges := append([]colstore.EdgeID(nil), universe...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return CoverPlan{Edges: edges}
+}
+
+func subsetOf(edges []colstore.EdgeID, set map[colstore.EdgeID]struct{}) bool {
+	for _, e := range edges {
+		if _, ok := set[e]; !ok {
+			return false
+		}
+	}
+	return true
+}

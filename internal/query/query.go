@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"grove/internal/gpath"
+	"grove/internal/graph"
+)
+
+// NewPathAggQueryAlong builds a path aggregation over one explicit path,
+// honouring its open endpoints. The structural filter is the path's edges.
+func NewPathAggQueryAlong(p gpath.Path, agg AggFunc, measure string) *PathAggQuery {
+	return &PathAggQuery{G: p.ToGraph(), Agg: agg, Measure: measure, Paths: []gpath.Path{p}}
+}
+
+// GraphQuery is a graph query Gq (§3.2): a directed graph over the universal
+// node schema. A record Gr is in the answer iff Gq ⊆ Gr, which — because
+// nodes are named entities — reduces to containment of Gq's structural
+// elements.
+type GraphQuery struct {
+	G *graph.Graph
+}
+
+// NewGraphQuery wraps a query graph.
+func NewGraphQuery(g *graph.Graph) *GraphQuery {
+	return &GraphQuery{G: g}
+}
+
+// FromPath builds the graph query for a single path, e.g. Q1's
+// [A,D,E,G,I] (§2).
+func FromPath(p gpath.Path) *GraphQuery {
+	return &GraphQuery{G: p.ToGraph()}
+}
+
+// MaximalPaths returns the maximal source→terminal paths of the query graph.
+func (q *GraphQuery) MaximalPaths() ([]gpath.Path, error) {
+	return gpath.MaximalPaths(q.G)
+}
+
+func (q *GraphQuery) String() string {
+	elems := q.G.Elements()
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = e.String()
+	}
+	return "Gq{" + strings.Join(parts, " ") + "}"
+}
+
+// PathAggQuery is a path aggregation query F_Gq (§3.4): it retrieves the
+// records matching Gq and applies Agg along every maximal path of Gq.
+// Measure selects which measure to aggregate ("" = the default measure;
+// multi-measure records also expose named measures such as "time" or
+// "cost", §3.1).
+type PathAggQuery struct {
+	G       *graph.Graph
+	Agg     AggFunc
+	Measure string
+	// Paths, when non-empty, overrides the default aggregation targets (the
+	// maximal paths of G) with explicit — possibly open-ended — paths, e.g.
+	// (D,E,G) to exclude endpoint node measures (§3.3).
+	Paths []gpath.Path
+}
+
+// NewPathAggQuery builds a path aggregation query over the default measure.
+func NewPathAggQuery(g *graph.Graph, agg AggFunc) *PathAggQuery {
+	return &PathAggQuery{G: g, Agg: agg}
+}
+
+// NewPathAggQueryOn builds a path aggregation query over a named measure.
+func NewPathAggQueryOn(g *graph.Graph, agg AggFunc, measure string) *PathAggQuery {
+	return &PathAggQuery{G: g, Agg: agg, Measure: measure}
+}
+
+func (q *PathAggQuery) String() string {
+	if q.Measure != "" {
+		return fmt.Sprintf("%s[%s]_%s", q.Agg.Name, q.Measure, (&GraphQuery{G: q.G}).String())
+	}
+	return fmt.Sprintf("%s_%s", q.Agg.Name, (&GraphQuery{G: q.G}).String())
+}
+
+// Expr is a boolean combination of graph queries (§3.2):
+// [Gq1 AND Gq2] = [Gq1] ∩ [Gq2], [Gq1 OR Gq2] = [Gq1] ∪ [Gq2],
+// [Gq1 AND NOT Gq2] = [Gq1] − [Gq2].
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Leaf is a single graph query in an expression.
+type Leaf struct {
+	Q *GraphQuery
+}
+
+// And intersects the answer sets of its operands.
+type And struct {
+	Operands []Expr
+}
+
+// Or unions the answer sets of its operands.
+type Or struct {
+	Operands []Expr
+}
+
+// Diff is A AND NOT B.
+type Diff struct {
+	A Expr
+	B Expr
+}
+
+func (Leaf) exprNode() {}
+func (And) exprNode()  {}
+func (Or) exprNode()   {}
+func (Diff) exprNode() {}
+
+func (l Leaf) String() string { return l.Q.String() }
+
+func (a And) String() string { return exprList("AND", a.Operands) }
+
+func (o Or) String() string { return exprList("OR", o.Operands) }
+
+func (d Diff) String() string {
+	return "(" + d.A.String() + " AND NOT " + d.B.String() + ")"
+}
+
+func exprList(op string, operands []Expr) string {
+	parts := make([]string, len(operands))
+	for i, o := range operands {
+		parts[i] = o.String()
+	}
+	return "(" + strings.Join(parts, " "+op+" ") + ")"
+}

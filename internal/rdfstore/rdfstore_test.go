@@ -1,0 +1,132 @@
+package rdfstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"grove/internal/graph"
+)
+
+func mkRecord(t *testing.T, edges map[[2]string]float64) *graph.Record {
+	t.Helper()
+	r := graph.NewRecord()
+	for e, v := range edges {
+		if err := r.SetEdge(e[0], e[1], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMatchQueryJoins(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"C", "D"}: 4}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"B", "C"}: 5}))
+	s.Freeze()
+
+	got := s.MatchQuery([]graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("match = %v", got)
+	}
+	if got := s.MatchQuery([]graph.EdgeKey{graph.E("Z", "W")}); len(got) != 0 {
+		t.Errorf("unknown predicate matched: %v", got)
+	}
+	if s.NumTriples() != 5 || s.NumRecords() != 3 {
+		t.Errorf("triples=%d records=%d", s.NumTriples(), s.NumRecords())
+	}
+}
+
+func TestAutoFreezeOnQuery(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1}))
+	// No explicit Freeze: MatchQuery must freeze lazily.
+	if got := s.MatchQuery([]graph.EdgeKey{graph.E("A", "B")}); len(got) != 1 {
+		t.Errorf("lazy freeze failed: %v", got)
+	}
+	// Adding after freeze must invalidate and refreeze.
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 2}))
+	if got := s.MatchQuery([]graph.EdgeKey{graph.E("A", "B")}); len(got) != 2 {
+		t.Errorf("refreeze failed: %v", got)
+	}
+}
+
+func TestFetchMeasuresAndAggregate(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"B", "C"}: 4}))
+	s.Freeze()
+	q := []graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")}
+	sum, n := s.FetchMeasures([]uint32{0, 1}, q)
+	if sum != 10 || n != 4 {
+		t.Errorf("FetchMeasures = %v,%d", sum, n)
+	}
+	agg := s.AggregateAlongPath(q, 0, func(a, b float64) float64 { return a + b })
+	if agg[0] != 3 || agg[1] != 7 {
+		t.Errorf("aggregate = %v", agg)
+	}
+}
+
+func TestDiskSize(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	if got := s.DiskSizeBytes(); got != 2*tripleBytes*3 {
+		t.Errorf("DiskSizeBytes = %d", got)
+	}
+}
+
+func TestMatchRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	var recs []*graph.Record
+	names := []string{"A", "B", "C", "D", "E"}
+	for i := 0; i < 200; i++ {
+		r := graph.NewRecord()
+		for j := 0; j < 3+rng.Intn(6); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a == b {
+				continue
+			}
+			if err := r.SetEdge(a, b, float64(rng.Intn(10))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs = append(recs, r)
+		s.AddRecord(r)
+	}
+	s.Freeze()
+	for trial := 0; trial < 50; trial++ {
+		var q []graph.EdgeKey
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a != b {
+				q = append(q, graph.E(a, b))
+			}
+		}
+		if len(q) == 0 {
+			continue
+		}
+		got := s.MatchQuery(q)
+		var want []uint32
+		for i, r := range recs {
+			all := true
+			for _, k := range q {
+				if !r.HasElement(k) {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = append(want, uint32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}

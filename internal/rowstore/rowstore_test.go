@@ -1,0 +1,133 @@
+package rowstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"grove/internal/graph"
+)
+
+func mkRecord(t *testing.T, edges map[[2]string]float64) *graph.Record {
+	t.Helper()
+	r := graph.NewRecord()
+	for e, v := range edges {
+		if err := r.SetEdge(e[0], e[1], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMatchQuery(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"C", "D"}: 4}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"B", "C"}: 5}))
+
+	got := s.MatchQuery([]graph.EdgeKey{graph.E("A", "B")})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("match (A,B) = %v", got)
+	}
+	got = s.MatchQuery([]graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("match (A,B)&(B,C) = %v", got)
+	}
+	if got := s.MatchQuery([]graph.EdgeKey{graph.E("X", "Y")}); len(got) != 0 {
+		t.Errorf("match unknown = %v", got)
+	}
+	if got := s.MatchQuery(nil); got != nil {
+		t.Errorf("match empty = %v", got)
+	}
+}
+
+func TestFetchMeasures(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3}))
+	sum, n := s.FetchMeasures([]uint32{0, 1}, []graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")})
+	if sum != 6 || n != 3 {
+		t.Errorf("FetchMeasures = %v,%d want 6,3", sum, n)
+	}
+}
+
+func TestAggregateAlongPath(t *testing.T) {
+	s := New()
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 3, {"B", "C"}: 4}))
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 9}))
+	got := s.AggregateAlongPath(
+		[]graph.EdgeKey{graph.E("A", "B"), graph.E("B", "C")},
+		0, func(a, b float64) float64 { return a + b })
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("aggregate = %v", got)
+	}
+}
+
+func TestSizing(t *testing.T) {
+	s := New()
+	if s.DiskSizeBytes() != 0 {
+		t.Error("empty store has size")
+	}
+	s.AddRecord(mkRecord(t, map[[2]string]float64{{"A", "B"}: 1, {"B", "C"}: 2}))
+	if s.NumRows() != 2 || s.NumRecords() != 1 {
+		t.Errorf("rows=%d records=%d", s.NumRows(), s.NumRecords())
+	}
+	if s.DiskSizeBytes() != 2*(rowOverheadBytes+indexEntryBytes) {
+		t.Errorf("size = %d", s.DiskSizeBytes())
+	}
+}
+
+func TestMatchRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New()
+	var recs []*graph.Record
+	names := []string{"A", "B", "C", "D", "E"}
+	for i := 0; i < 200; i++ {
+		r := graph.NewRecord()
+		for j := 0; j < 4+rng.Intn(6); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a == b {
+				continue
+			}
+			if err := r.SetEdge(a, b, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs = append(recs, r)
+		s.AddRecord(r)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var q []graph.EdgeKey
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			a, b := names[rng.Intn(5)], names[rng.Intn(5)]
+			if a != b {
+				q = append(q, graph.E(a, b))
+			}
+		}
+		if len(q) == 0 {
+			continue
+		}
+		got := s.MatchQuery(q)
+		var want []uint32
+		for i, r := range recs {
+			all := true
+			for _, k := range q {
+				if !r.HasElement(k) {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = append(want, uint32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package view
+
+import (
+	"fmt"
+
+	"grove/internal/colstore"
+	"grove/internal/graph"
+	"grove/internal/query"
+)
+
+// Advisor runs the complete §5 pipeline against a master relation: candidate
+// generation from a query workload, greedy selection under a budget of k
+// views, and materialization into the relation's schema.
+type Advisor struct {
+	Rel *colstore.Relation
+	Reg *graph.Registry
+	// MinSup < 2 uses the exhaustive intersection-closure candidate
+	// generator; ≥ 2 uses the a-priori frequent-itemset generator with that
+	// minimum support (§5.2).
+	MinSup int
+}
+
+// NewAdvisor returns an advisor with exhaustive candidate generation.
+func NewAdvisor(rel *colstore.Relation, reg *graph.Registry) *Advisor {
+	return &Advisor{Rel: rel, Reg: reg}
+}
+
+// WorkloadEdgeSets maps query graphs to edge-id sets via the registry.
+func (a *Advisor) WorkloadEdgeSets(queries []*graph.Graph) []EdgeSet {
+	out := make([]EdgeSet, len(queries))
+	for i, q := range queries {
+		out[i] = NewEdgeSet(a.Reg.GraphIDs(q))
+	}
+	return out
+}
+
+// SelectGraphViews generates candidates for the workload and selects up to k
+// graph views, without materializing them.
+func (a *Advisor) SelectGraphViews(queries []*graph.Graph, k int) ([]EdgeSet, error) {
+	sets := a.WorkloadEdgeSets(queries)
+	cands, err := Candidates(sets, a.MinSup)
+	if err != nil {
+		return nil, err
+	}
+	return SelectGraphViews(cands, sets, k), nil
+}
+
+// MaterializeGraphViews selects and materializes up to k graph views for the
+// workload, returning the created view names (v0, v1, … in pick order).
+func (a *Advisor) MaterializeGraphViews(queries []*graph.Graph, k int) ([]string, error) {
+	selected, err := a.SelectGraphViews(queries, k)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(selected))
+	for i, s := range selected {
+		name := fmt.Sprintf("v%d", i)
+		for a.Rel.View(name) != nil {
+			name = "x" + name
+		}
+		if _, err := a.Rel.MaterializeView(name, s); err != nil {
+			return names, fmt.Errorf("view: materializing %s: %w", name, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// SelectAggViews generates aggregate-view candidates for the workload and
+// selects up to k, without materializing.
+func (a *Advisor) SelectAggViews(queries []*graph.Graph, k int) ([]PathSeq, error) {
+	cands, universes, err := AggCandidates(queries, a.Reg)
+	if err != nil {
+		return nil, err
+	}
+	if a.MinSup >= 2 {
+		cands = FilterAggBySupport(cands, universes, a.MinSup)
+	}
+	return SelectAggViews(cands, universes, k), nil
+}
+
+// FilterAggBySupport keeps candidates occurring in at least minSup workload
+// paths, mirroring the a-priori support threshold for aggregate views.
+func FilterAggBySupport(cands, universes []PathSeq, minSup int) []PathSeq {
+	var out []PathSeq
+	for _, c := range cands {
+		sup := 0
+		for _, u := range universes {
+			if len(c.occurrencesIn(u)) > 0 {
+				sup++
+				if sup >= minSup {
+					break
+				}
+			}
+		}
+		if sup >= minSup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaterializeAggViews selects and materializes up to k aggregate graph views
+// for the workload under aggregate function agg, returning the created view
+// names (p0, p1, … in pick order).
+func (a *Advisor) MaterializeAggViews(queries []*graph.Graph, agg query.AggFunc, k int) ([]string, error) {
+	selected, err := a.SelectAggViews(queries, k)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(selected))
+	for i, seq := range selected {
+		name := fmt.Sprintf("p%d", i)
+		for a.Rel.AggView(name) != nil {
+			name = "x" + name
+		}
+		if _, err := a.Rel.MaterializeAggView(name, SeqToPathEdges(seq), agg); err != nil {
+			return names, fmt.Errorf("view: materializing %s: %w", name, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -1,0 +1,131 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"grove/internal/colstore"
+	"grove/internal/gpath"
+	"grove/internal/graph"
+)
+
+// AggCandidates computes the candidate aggregate graph views Cp of §5.4 for
+// a workload of path-aggregation query graphs:
+//
+//  1. P_All — the maximal paths of every query; G_All — the union graph.
+//  2. A node of G_All is *interesting* when it is (a) the origin or endpoint
+//     of a maximal path, (b) the start of ≥2 distinct edges traversed by
+//     maximal paths, or (c) the end of ≥2 such edges.
+//  3. Cp = all simple paths of length ≥ 2 edges between interesting nodes.
+//
+// By the aggregate-view monotonicity property, any path omitted from this
+// set is dominated by a candidate that contains it. The returned candidates
+// are edge-id sequences ready for SelectAggViews; the function also returns
+// the maximal paths (as sequences) for use as selection universes.
+func AggCandidates(queries []*graph.Graph, reg *graph.Registry) (cands []PathSeq, universes []PathSeq, err error) {
+	gAll := graph.NewGraph()
+	var pAll []gpath.Path
+	for _, q := range queries {
+		paths, err := gpath.MaximalPaths(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("view: enumerating maximal paths: %w", err)
+		}
+		pAll = append(pAll, paths...)
+		for _, k := range q.Elements() {
+			gAll.AddElement(k)
+		}
+	}
+	if len(pAll) == 0 {
+		return nil, nil, nil
+	}
+
+	// Traversed-edge bookkeeping for the interesting-node rules.
+	startFanout := make(map[string]map[string]struct{}) // node → distinct next hops on maximal paths
+	endFanin := make(map[string]map[string]struct{})    // node → distinct previous hops
+	interesting := make(map[string]struct{})
+	for _, p := range pAll {
+		interesting[p.Start()] = struct{}{}
+		interesting[p.End()] = struct{}{}
+		for _, e := range p.Edges() {
+			addTo(startFanout, e.From, e.To)
+			addTo(endFanin, e.To, e.From)
+		}
+	}
+	for n, outs := range startFanout {
+		if len(outs) >= 2 {
+			interesting[n] = struct{}{}
+		}
+	}
+	for n, ins := range endFanin {
+		if len(ins) >= 2 {
+			interesting[n] = struct{}{}
+		}
+	}
+
+	nodes := make([]string, 0, len(interesting))
+	for n := range interesting {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// All simple paths between interesting nodes with ≥ 2 edges. Paths are
+	// enumerated within each query graph rather than within G_All: a
+	// candidate that is not a path of some query graph can never cover a
+	// query path, and per-query enumeration avoids the combinatorial blowup
+	// of dense union graphs. (On the paper's §5.4 example the two
+	// enumerations coincide.)
+	seen := make(map[string]struct{})
+	for _, q := range queries {
+		qNodes := make([]string, 0, len(nodes))
+		for _, n := range nodes {
+			if q.HasNode(n) {
+				qNodes = append(qNodes, n)
+			}
+		}
+		paths, err := gpath.AllPaths(q, qNodes, qNodes, false, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("view: enumerating candidate paths: %w", err)
+		}
+		for _, p := range paths {
+			if p.Len() < 2 {
+				continue // single edges are already stored (§5.4)
+			}
+			seq := pathToSeq(p, reg)
+			key := pathSeqKey(seq)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			cands = append(cands, seq)
+		}
+	}
+	for _, p := range pAll {
+		universes = append(universes, pathToSeq(p, reg))
+	}
+	return cands, universes, nil
+}
+
+func addTo(m map[string]map[string]struct{}, k, v string) {
+	s, ok := m[k]
+	if !ok {
+		s = make(map[string]struct{})
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+// pathToSeq maps a path's edges to their registry ids in traversal order.
+func pathToSeq(p gpath.Path, reg *graph.Registry) PathSeq {
+	edges := p.Edges()
+	out := make(PathSeq, len(edges))
+	for i, e := range edges {
+		out[i] = reg.ID(e)
+	}
+	return out
+}
+
+// SeqToPathEdges converts a selected PathSeq back to edge ids for
+// materialization.
+func SeqToPathEdges(s PathSeq) []colstore.EdgeID {
+	return append([]colstore.EdgeID(nil), s...)
+}

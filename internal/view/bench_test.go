@@ -1,0 +1,155 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"grove/internal/colstore"
+	"grove/internal/graph"
+)
+
+func benchWorkload(n, edgesPer, domain int, seed int64) []EdgeSet {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]EdgeSet, n)
+	for i := range out {
+		ids := make([]colstore.EdgeID, edgesPer)
+		base := rng.Intn(domain)
+		for j := range ids {
+			// Overlapping windows so queries share subgraphs.
+			ids[j] = colstore.EdgeID((base + j + rng.Intn(3)) % domain)
+		}
+		out[i] = NewEdgeSet(ids)
+	}
+	return out
+}
+
+func BenchmarkCandidatesClosure(b *testing.B) {
+	queries := benchWorkload(100, 8, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CandidatesByIntersection(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidatesApriori(b *testing.B) {
+	queries := benchWorkload(100, 8, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CandidatesApriori(queries, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterSuperseded(b *testing.B) {
+	queries := benchWorkload(100, 8, 300, 1)
+	cands, err := CandidatesByIntersection(queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FilterSuperseded(cands, queries)
+	}
+}
+
+// BenchmarkSelectGreedy vs BenchmarkSelectNaive: the §5.2 greedy extended
+// set cover against the naive frequency heuristic — both timed, with the
+// resulting workload cost reported so the quality gap is visible too.
+func BenchmarkSelectGreedy(b *testing.B) {
+	queries := benchWorkload(100, 8, 300, 1)
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sel []EdgeSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = SelectGraphViews(cands, queries, 50)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(workloadBitmapCost(queries, sel)), "bitmaps/workload")
+}
+
+func BenchmarkSelectNaiveTopK(b *testing.B) {
+	queries := benchWorkload(100, 8, 300, 1)
+	var sel []EdgeSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = NaiveTopKByFrequency(queries, 50)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(workloadBitmapCost(queries, sel)), "bitmaps/workload")
+}
+
+// workloadBitmapCost replays the greedy query-time rewriting (§5.3) against
+// a view selection and totals the bitmaps each query would fetch.
+func workloadBitmapCost(queries, views []EdgeSet) int {
+	total := 0
+	for _, q := range queries {
+		uncovered := make(map[colstore.EdgeID]struct{}, len(q))
+		for _, e := range q {
+			uncovered[e] = struct{}{}
+		}
+		for {
+			best, gain := -1, 1
+			for vi, v := range views {
+				if !v.SubsetOf(q) {
+					continue
+				}
+				g := 0
+				for _, e := range v {
+					if _, ok := uncovered[e]; ok {
+						g++
+					}
+				}
+				if g > gain {
+					best, gain = vi, g
+				}
+			}
+			if best < 0 {
+				break
+			}
+			total++
+			for _, e := range views[best] {
+				delete(uncovered, e)
+			}
+		}
+		total += len(uncovered)
+	}
+	return total
+}
+
+func BenchmarkAggCandidates(b *testing.B) {
+	// Path workloads as graphs.
+	rng := rand.New(rand.NewSource(2))
+	gs := benchPathGraphs(rng, 50, 6)
+	reg := benchRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AggCandidates(gs, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPathGraphs builds overlapping path query graphs over a chain
+// namespace n0..n99.
+func benchPathGraphs(rng *rand.Rand, n, length int) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		g := graph.NewGraph()
+		start := rng.Intn(90)
+		for j := 0; j < length; j++ {
+			g.AddEdge(nodeName(start+j), nodeName(start+j+1))
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func nodeName(i int) string { return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func benchRegistry() *graph.Registry { return graph.NewRegistry() }

@@ -1,0 +1,313 @@
+// Package view implements grove's materialized graph-view framework, the
+// core contribution of the paper (§5): generation of candidate graph views
+// (intersection closure and a-priori frequent-itemset formulations, §5.2),
+// monotonicity-based supersession pruning, candidate aggregate graph views
+// via interesting nodes (§5.4), and greedy extended-set-cover selection
+// under a space budget of k views.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grove/internal/colstore"
+)
+
+// EdgeSet is a sorted, deduplicated set of edge ids — the edge set of a
+// query graph or a candidate view.
+type EdgeSet []colstore.EdgeID
+
+// NewEdgeSet normalizes a slice of ids into an EdgeSet.
+func NewEdgeSet(ids []colstore.EdgeID) EdgeSet {
+	s := append([]colstore.EdgeID(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var prev colstore.EdgeID
+	for i, e := range s {
+		if i == 0 || e != prev {
+			out = append(out, e)
+		}
+		prev = e
+	}
+	return EdgeSet(out)
+}
+
+// Key returns a canonical map key for the set.
+func (s EdgeSet) Key() string {
+	var sb strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", e)
+	}
+	return sb.String()
+}
+
+// Contains reports whether e ∈ s (binary search).
+func (s EdgeSet) Contains(e colstore.EdgeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	return i < len(s) && s[i] == e
+}
+
+// SubsetOf reports s ⊆ t.
+func (s EdgeSet) SubsetOf(t EdgeSet) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	i := 0
+	for _, e := range s {
+		for i < len(t) && t[i] < e {
+			i++
+		}
+		if i >= len(t) || t[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports s ⊂ t.
+func (s EdgeSet) ProperSubsetOf(t EdgeSet) bool {
+	return len(s) < len(t) && s.SubsetOf(t)
+}
+
+// Intersect returns s ∩ t.
+func (s EdgeSet) Intersect(t EdgeSet) EdgeSet {
+	var out EdgeSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// maxClosureCandidates bounds intersection-closure growth; workloads with
+// pathological overlap (§5.2's |Cv| = O(2^|Gq|) case) should use the
+// a-priori generator instead.
+const maxClosureCandidates = 1 << 16
+
+// CandidatesByIntersection computes the candidate view set Cv of §5.2 by
+// closure: every query graph, plus the common subgraphs of every subset of
+// query graphs — obtained by iteratively intersecting pairs until a fixpoint
+// (the "intersections of intersections" refinement). The result is then
+// pruned with FilterSuperseded by the caller or via Candidates.
+func CandidatesByIntersection(queries []EdgeSet) ([]EdgeSet, error) {
+	index := make(map[string]EdgeSet)
+	var order []EdgeSet
+	add := func(s EdgeSet) bool {
+		if len(s) == 0 {
+			return false
+		}
+		k := s.Key()
+		if _, dup := index[k]; dup {
+			return false
+		}
+		index[k] = s
+		order = append(order, s)
+		return true
+	}
+	for _, q := range queries {
+		add(q)
+	}
+	// Fixpoint: intersect every new set with every existing set.
+	frontier := append([]EdgeSet(nil), order...)
+	for len(frontier) > 0 {
+		var next []EdgeSet
+		for _, a := range frontier {
+			for _, b := range order {
+				inter := a.Intersect(b)
+				if len(inter) == 0 || len(inter) == len(a) || len(inter) == len(b) {
+					continue
+				}
+				if add(inter) {
+					next = append(next, inter)
+					if len(order) > maxClosureCandidates {
+						return nil, fmt.Errorf("view: intersection closure exceeded %d candidates; use a-priori generation with a minimum support", maxClosureCandidates)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// CandidatesApriori computes candidate views as frequent edge sets: each
+// query is a transaction of edge "items", and a set of edges is a candidate
+// when at least minSup queries contain all of it (§5.2's frequent-itemset
+// formulation, after Agrawal & Srikant). minSup ≥ 1; minSup = 1 degenerates
+// to all subsets of single queries and is rejected in favour of the closure
+// generator.
+func CandidatesApriori(queries []EdgeSet, minSup int) ([]EdgeSet, error) {
+	if minSup < 2 {
+		return nil, fmt.Errorf("view: a-priori needs minSup ≥ 2, got %d (use CandidatesByIntersection for exhaustive generation)", minSup)
+	}
+	// L1: frequent single edges.
+	counts := make(map[colstore.EdgeID]int)
+	for _, q := range queries {
+		for _, e := range q {
+			counts[e]++
+		}
+	}
+	var l1 []EdgeSet
+	for e, c := range counts {
+		if c >= minSup {
+			l1 = append(l1, EdgeSet{e})
+		}
+	}
+	sort.Slice(l1, func(i, j int) bool { return l1[i][0] < l1[j][0] })
+
+	var all []EdgeSet
+	prev := l1
+	for len(prev) > 0 {
+		all = append(all, prev...)
+		if len(all) > maxClosureCandidates {
+			return nil, fmt.Errorf("view: a-priori exceeded %d candidates; raise minSup", maxClosureCandidates)
+		}
+		// Candidate generation: join sets sharing all but their last element.
+		var cands []EdgeSet
+		for i := 0; i < len(prev); i++ {
+			for j := i + 1; j < len(prev); j++ {
+				a, b := prev[i], prev[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				c := make(EdgeSet, len(a)+1)
+				copy(c, a)
+				last := b[len(b)-1]
+				if last < a[len(a)-1] {
+					continue
+				}
+				c[len(a)] = last
+				cands = append(cands, c)
+			}
+		}
+		// Support counting.
+		var next []EdgeSet
+		for _, c := range cands {
+			sup := 0
+			for _, q := range queries {
+				if c.SubsetOf(q) {
+					sup++
+				}
+			}
+			if sup >= minSup {
+				next = append(next, c)
+			}
+		}
+		prev = next
+	}
+	// Single-edge itemsets are not views (their bitmaps already exist).
+	out := all[:0]
+	for _, s := range all {
+		if len(s) >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func samePrefix(a, b EdgeSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i+1 < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterSuperseded removes candidates superseded under the monotonicity
+// property of §5.2: Gv ≺ Gv' iff Gv ⊂ Gv' and every query containing Gv also
+// contains Gv'. A superseded view can never beat its superseder in any
+// rewriting, so it is dropped from Cv.
+func FilterSuperseded(cands []EdgeSet, queries []EdgeSet) []EdgeSet {
+	// Deduplicate candidates and precompute each candidate's supporting
+	// query index set.
+	uniq := make(map[string]EdgeSet, len(cands))
+	var order []EdgeSet
+	for _, c := range cands {
+		k := c.Key()
+		if _, dup := uniq[k]; !dup && len(c) > 0 {
+			uniq[k] = c
+			order = append(order, c)
+		}
+	}
+	support := make([][]int, len(order))
+	for i, c := range order {
+		for qi, q := range queries {
+			if c.SubsetOf(q) {
+				support[i] = append(support[i], qi)
+			}
+		}
+	}
+	superseded := make([]bool, len(order))
+	for i, small := range order {
+		for j, big := range order {
+			if i == j || superseded[i] {
+				continue
+			}
+			if small.ProperSubsetOf(big) && equalInts(support[i], support[j]) {
+				superseded[i] = true
+				break
+			}
+		}
+	}
+	var out []EdgeSet
+	for i, c := range order {
+		if !superseded[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates is the full §5.2 pipeline: generate (closure when minSup < 2,
+// a-priori otherwise) and prune superseded views. Single-edge sets are never
+// candidates — their bitmaps are already stored.
+func Candidates(queries []EdgeSet, minSup int) ([]EdgeSet, error) {
+	var (
+		raw []EdgeSet
+		err error
+	)
+	if minSup < 2 {
+		raw, err = CandidatesByIntersection(queries)
+	} else {
+		raw, err = CandidatesApriori(queries, minSup)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var multi []EdgeSet
+	for _, s := range raw {
+		if len(s) >= 2 {
+			multi = append(multi, s)
+		}
+	}
+	return FilterSuperseded(multi, queries), nil
+}

@@ -1,0 +1,113 @@
+package view
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SelectionReport describes a view selection against its workload: what each
+// chosen view covers and what the rewriting saves overall.
+type SelectionReport struct {
+	// Entries, in selection (pick) order.
+	Entries []ReportEntry
+	// WorkloadQueries is the number of queries considered.
+	WorkloadQueries int
+	// BitmapsBefore / BitmapsAfter are the workload's total structural
+	// bitmap fetches without and with the selected views (greedy rewriting).
+	BitmapsBefore int
+	BitmapsAfter  int
+}
+
+// ReportEntry is one selected view in a report.
+type ReportEntry struct {
+	Edges        EdgeSet
+	QueriesUsing int // queries this view is a subgraph of
+}
+
+// Savings returns the fractional reduction in bitmap fetches (0..1).
+func (r SelectionReport) Savings() float64 {
+	if r.BitmapsBefore == 0 {
+		return 0
+	}
+	return 1 - float64(r.BitmapsAfter)/float64(r.BitmapsBefore)
+}
+
+// Report evaluates a graph-view selection against a workload: per-view usage
+// counts plus the before/after bitmap cost of the whole workload under the
+// §5.3 greedy rewriting.
+func Report(selected []EdgeSet, queries []EdgeSet) SelectionReport {
+	rep := SelectionReport{WorkloadQueries: len(queries)}
+	for _, v := range selected {
+		e := ReportEntry{Edges: v}
+		for _, q := range queries {
+			if v.SubsetOf(q) {
+				e.QueriesUsing++
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	for _, q := range queries {
+		rep.BitmapsBefore += len(q)
+	}
+	rep.BitmapsAfter = workloadCost(queries, selected)
+	return rep
+}
+
+// workloadCost replays the greedy query-time rewriting against the selection
+// and totals the bitmaps fetched.
+func workloadCost(queries, views []EdgeSet) int {
+	total := 0
+	for _, q := range queries {
+		uncovered := make(map[uint32]struct{}, len(q))
+		for _, e := range q {
+			uncovered[uint32(e)] = struct{}{}
+		}
+		for {
+			best, gain := -1, 1
+			for vi, v := range views {
+				if !v.SubsetOf(q) {
+					continue
+				}
+				g := 0
+				for _, e := range v {
+					if _, ok := uncovered[uint32(e)]; ok {
+						g++
+					}
+				}
+				if g > gain {
+					best, gain = vi, g
+				}
+			}
+			if best < 0 {
+				break
+			}
+			total++
+			for _, e := range views[best] {
+				delete(uncovered, uint32(e))
+			}
+		}
+		total += len(uncovered)
+	}
+	return total
+}
+
+// Render writes a human-readable report.
+func (r SelectionReport) Render(w io.Writer, describe func(EdgeSet) string) {
+	fmt.Fprintf(w, "workload: %d queries, %d bitmap fetches without views\n",
+		r.WorkloadQueries, r.BitmapsBefore)
+	fmt.Fprintf(w, "with %d views: %d fetches (%.1f%% saved)\n",
+		len(r.Entries), r.BitmapsAfter, 100*r.Savings())
+	entries := append([]ReportEntry(nil), r.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].QueriesUsing > entries[j].QueriesUsing
+	})
+	for i, e := range entries {
+		desc := e.Edges.Key()
+		if describe != nil {
+			desc = describe(e.Edges)
+		}
+		fmt.Fprintf(w, "  %2d. %d edges, used by %d queries: %s\n",
+			i+1, len(e.Edges), e.QueriesUsing, desc)
+	}
+}

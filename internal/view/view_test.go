@@ -1,0 +1,338 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"grove/internal/colstore"
+	"grove/internal/graph"
+)
+
+func es(ids ...colstore.EdgeID) EdgeSet { return NewEdgeSet(ids) }
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet([]colstore.EdgeID{3, 1, 2, 3, 1})
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Fatalf("NewEdgeSet = %v", s)
+	}
+	if s.Key() != "1,2,3" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if !s.Contains(2) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if !es(1, 2).SubsetOf(s) || es(1, 4).SubsetOf(s) {
+		t.Error("SubsetOf wrong")
+	}
+	if !es(1, 2).ProperSubsetOf(s) || s.ProperSubsetOf(s) {
+		t.Error("ProperSubsetOf wrong")
+	}
+	inter := es(1, 2, 5).Intersect(es(2, 5, 9))
+	if inter.Key() != "2,5" {
+		t.Errorf("Intersect = %v", inter)
+	}
+}
+
+func TestCandidatesContainAllQueries(t *testing.T) {
+	queries := []EdgeSet{es(1, 2, 3), es(2, 3, 4), es(5, 6)}
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.Key()] = true
+	}
+	// Every multi-edge query graph must be a candidate (§5.2, first bullet).
+	for _, q := range queries {
+		if !keys[q.Key()] {
+			t.Errorf("query %v missing from candidates %v", q, cands)
+		}
+	}
+	// The pairwise intersection {2,3} must be a candidate (second bullet).
+	if !keys["2,3"] {
+		t.Errorf("intersection {2,3} missing from %v", cands)
+	}
+}
+
+func TestCandidatesSubsetQueryNotSuperseded(t *testing.T) {
+	// Gqi ⊂ Gqj does NOT imply the view Gqi is superseded (§5.2 proof by
+	// contradiction): both must be kept.
+	queries := []EdgeSet{es(1, 2), es(1, 2, 3)}
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.Key()] = true
+	}
+	if !keys["1,2"] || !keys["1,2,3"] {
+		t.Fatalf("candidates = %v, want both queries kept", cands)
+	}
+}
+
+func TestFilterSupersededDropsDominated(t *testing.T) {
+	queries := []EdgeSet{es(1, 2, 3)}
+	// {1,2} is superseded by {1,2,3}: every query containing {1,2} (just the
+	// one) also contains {1,2,3}.
+	cands := []EdgeSet{es(1, 2), es(1, 2, 3)}
+	got := FilterSuperseded(cands, queries)
+	if len(got) != 1 || got[0].Key() != "1,2,3" {
+		t.Fatalf("FilterSuperseded = %v, want [{1,2,3}]", got)
+	}
+}
+
+func TestFilterSupersededKeepsSharedSubgraph(t *testing.T) {
+	queries := []EdgeSet{es(1, 2, 3), es(2, 3, 4)}
+	cands := []EdgeSet{es(1, 2, 3), es(2, 3, 4), es(2, 3)}
+	got := FilterSuperseded(cands, queries)
+	if len(got) != 3 {
+		t.Fatalf("FilterSuperseded = %v, want all three kept", got)
+	}
+}
+
+func TestIntersectionClosureIteratesDeep(t *testing.T) {
+	// The intersection of intersections must appear (footnote 1 in §5.2):
+	// Q1∩Q2 = {2,3,4,7}, Q3∩(Q1∩Q2) = {2,3}.
+	queries := []EdgeSet{es(1, 2, 3, 4, 7), es(2, 3, 4, 5, 7), es(2, 3, 6)}
+	cands, err := CandidatesByIntersection(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.Key()] = true
+	}
+	if !keys["2,3,4,7"] || !keys["2,3"] {
+		t.Fatalf("closure missing nested intersections: %v", cands)
+	}
+}
+
+func TestAprioriSupport(t *testing.T) {
+	queries := []EdgeSet{
+		es(1, 2, 3), es(1, 2, 3), es(1, 2, 4), es(5, 6),
+	}
+	cands, err := CandidatesApriori(queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.Key()] = true
+	}
+	// {1,2} has support 3; {1,2,3} only 2; {5,6} only 1.
+	if !keys["1,2"] {
+		t.Errorf("frequent set {1,2} missing: %v", cands)
+	}
+	if keys["1,2,3"] || keys["5,6"] {
+		t.Errorf("infrequent sets leaked: %v", cands)
+	}
+}
+
+func TestAprioriRejectsLowMinSup(t *testing.T) {
+	if _, err := CandidatesApriori([]EdgeSet{es(1, 2)}, 1); err == nil {
+		t.Error("minSup=1 accepted")
+	}
+}
+
+func TestAprioriMonotoneInMinSup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var queries []EdgeSet
+	for i := 0; i < 40; i++ {
+		var ids []colstore.EdgeID
+		n := 3 + rng.Intn(4)
+		for j := 0; j < n; j++ {
+			ids = append(ids, colstore.EdgeID(rng.Intn(15)))
+		}
+		queries = append(queries, NewEdgeSet(ids))
+	}
+	prev := -1
+	for _, minSup := range []int{2, 4, 8, 16} {
+		cands, err := Candidates(queries, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && len(cands) > prev {
+			t.Errorf("candidates grew from %d to %d when minSup rose to %d",
+				prev, len(cands), minSup)
+		}
+		prev = len(cands)
+	}
+}
+
+func TestSelectSingleQueryPicksWholeQuery(t *testing.T) {
+	// With a single query, the optimal single view is the whole query (§5.2).
+	queries := []EdgeSet{es(1, 2, 3, 4)}
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectGraphViews(cands, queries, 1)
+	if len(sel) != 1 || sel[0].Key() != "1,2,3,4" {
+		t.Fatalf("selection = %v, want whole query", sel)
+	}
+}
+
+func TestSelectBudgetAndPrefixProperty(t *testing.T) {
+	queries := []EdgeSet{
+		es(1, 2, 3), es(1, 2, 3), es(4, 5, 6), es(7, 8),
+	}
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := SelectGraphViews(cands, queries, 1)
+	k3 := SelectGraphViews(cands, queries, 3)
+	if len(k1) != 1 || len(k3) < 2 {
+		t.Fatalf("selection sizes: %d, %d", len(k1), len(k3))
+	}
+	if k1[0].Key() != k3[0].Key() {
+		t.Error("greedy selection is not prefix-stable")
+	}
+	// Highest-benefit pick first: {1,2,3} covers 6 uncovered edges (twice in
+	// the workload).
+	if k1[0].Key() != "1,2,3" {
+		t.Errorf("first pick = %v, want {1,2,3}", k1[0])
+	}
+}
+
+func TestSelectStopsWhenSingleEdgesWin(t *testing.T) {
+	// Disjoint single-edge universes: no multi-edge candidate exists, so the
+	// greedy algorithm should stop immediately.
+	queries := []EdgeSet{es(1), es(2)}
+	cands, err := Candidates(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := SelectGraphViews(cands, queries, 5); len(sel) != 0 {
+		t.Fatalf("selection = %v, want empty", sel)
+	}
+}
+
+func TestSelectZeroBudget(t *testing.T) {
+	queries := []EdgeSet{es(1, 2)}
+	if sel := SelectGraphViews([]EdgeSet{es(1, 2)}, queries, 0); sel != nil {
+		t.Fatal("k=0 selected views")
+	}
+}
+
+func TestNaiveTopKByFrequency(t *testing.T) {
+	queries := []EdgeSet{es(1, 2), es(1, 2), es(3, 4), es(5)}
+	sel := NaiveTopKByFrequency(queries, 2)
+	if len(sel) != 2 || sel[0].Key() != "1,2" || sel[1].Key() != "3,4" {
+		t.Fatalf("naive selection = %v", sel)
+	}
+}
+
+// --- aggregate view candidates (§5.4 worked example) -------------------------
+
+// fig2AsQueries builds the three Fig. 2 graphs used as queries in the §5.4
+// example, with geometry e1=(A,B) e2=(A,C) e3=(C,E) e4=(A,D) e5=(D,E)
+// e6=(E,F) e7=(F,G).
+func fig2AsQueries() []*graph.Graph {
+	mk := func(edges ...[2]string) *graph.Graph {
+		g := graph.NewGraph()
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		return g
+	}
+	r1 := mk([2]string{"A", "B"}, [2]string{"A", "C"}, [2]string{"C", "E"},
+		[2]string{"A", "D"}, [2]string{"D", "E"})
+	r2 := mk([2]string{"A", "C"}, [2]string{"C", "E"}, [2]string{"A", "D"},
+		[2]string{"D", "E"}, [2]string{"E", "F"}, [2]string{"F", "G"})
+	r3 := mk([2]string{"A", "D"}, [2]string{"D", "E"}, [2]string{"E", "F"},
+		[2]string{"F", "G"})
+	return []*graph.Graph{r1, r2, r3}
+}
+
+func TestAggCandidatesPaperExample(t *testing.T) {
+	reg := graph.NewRegistry()
+	cands, universes, err := AggCandidates(fig2AsQueries(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.4: interesting nodes are A, B, E, G; candidates are [A,C,E],
+	// [A,D,E], [A,C,E,F,G], [A,D,E,F,G] and [E,F,G] — exactly 5.
+	if len(cands) != 5 {
+		t.Fatalf("got %d candidates, want 5 (paper example): %v", len(cands), cands)
+	}
+	toSeq := func(nodes ...string) string {
+		var seq PathSeq
+		for i := 0; i+1 < len(nodes); i++ {
+			seq = append(seq, reg.ID(graph.E(nodes[i], nodes[i+1])))
+		}
+		return pathSeqKey(seq)
+	}
+	want := map[string]string{
+		"[A,C,E]":     toSeq("A", "C", "E"),
+		"[A,D,E]":     toSeq("A", "D", "E"),
+		"[A,C,E,F,G]": toSeq("A", "C", "E", "F", "G"),
+		"[A,D,E,F,G]": toSeq("A", "D", "E", "F", "G"),
+		"[E,F,G]":     toSeq("E", "F", "G"),
+	}
+	got := map[string]bool{}
+	for _, c := range cands {
+		got[pathSeqKey(c)] = true
+	}
+	for name, key := range want {
+		if !got[key] {
+			t.Errorf("candidate %s missing", name)
+		}
+	}
+	// Universes: the maximal paths of the three queries (6 total:
+	// [A,B],[A,C,E],[A,D,E] / [A,C,E,F,G],[A,D,E,F,G] / [A,D,E,F,G]).
+	if len(universes) != 6 {
+		t.Errorf("got %d universes, want 6", len(universes))
+	}
+}
+
+func TestAggCandidatesEmptyWorkload(t *testing.T) {
+	reg := graph.NewRegistry()
+	cands, universes, err := AggCandidates(nil, reg)
+	if err != nil || cands != nil || universes != nil {
+		t.Fatalf("empty workload: %v %v %v", cands, universes, err)
+	}
+}
+
+func TestSelectAggViewsPaperExample(t *testing.T) {
+	reg := graph.NewRegistry()
+	cands, universes, err := AggCandidates(fig2AsQueries(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectAggViews(cands, universes, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d views, want 2", len(sel))
+	}
+	// First pick must be a 4-edge path ([A,C,E,F,G] or [A,D,E,F,G]): it
+	// covers the most uncovered positions (A,D,E,F,G occurs twice).
+	if len(sel[0]) != 4 {
+		t.Errorf("first pick has %d edges, want 4: %v", len(sel[0]), sel[0])
+	}
+}
+
+func TestSelectAggViewsOccurrenceOverlap(t *testing.T) {
+	// Candidate [1,2] occurs twice non-overlapping in path [1,2,1,2]:
+	// covering gain 4.
+	cands := []PathSeq{{1, 2}}
+	paths := []PathSeq{{1, 2, 1, 2}}
+	sel := SelectAggViews(cands, paths, 5)
+	if len(sel) != 1 {
+		t.Fatalf("selection = %v", sel)
+	}
+}
+
+func TestOccurrencesIn(t *testing.T) {
+	p := PathSeq{1, 2}
+	if got := p.occurrencesIn(PathSeq{1, 2, 3, 1, 2}); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("occurrences = %v", got)
+	}
+	if got := p.occurrencesIn(PathSeq{2, 1}); got != nil {
+		t.Errorf("occurrences = %v, want none", got)
+	}
+	if got := (PathSeq{}).occurrencesIn(PathSeq{1}); got != nil {
+		t.Errorf("empty pattern matched: %v", got)
+	}
+}

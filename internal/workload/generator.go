@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grove/internal/graph"
+)
+
+// Generator synthesizes graph records from a base network by unioning
+// random-walk paths until a per-record edge-count target is met, assigning a
+// random real measure to every edge (§7.1). It remembers the walk paths so
+// query generators can draw query graphs "from the set of paths resulting
+// from the random walk processes".
+type Generator struct {
+	Net *Network
+	// MinEdges/MaxEdges bound the record size (Table 2: 35–100 for NY,
+	// 45–100 for GNU).
+	MinEdges int
+	MaxEdges int
+
+	rng   *rand.Rand
+	paths [][]int32 // retained walk node sequences for query generation
+}
+
+// NewGenerator returns a deterministic generator for the given network and
+// record-size bounds.
+func NewGenerator(net *Network, minEdges, maxEdges int, seed int64) (*Generator, error) {
+	if net == nil {
+		return nil, fmt.Errorf("workload: nil network")
+	}
+	if minEdges < 1 || maxEdges < minEdges {
+		return nil, fmt.Errorf("workload: bad record size bounds [%d,%d]", minEdges, maxEdges)
+	}
+	return &Generator{
+		Net:      net,
+		MinEdges: minEdges,
+		MaxEdges: maxEdges,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// NextRecord synthesizes one graph record.
+func (g *Generator) NextRecord() (*graph.Record, error) {
+	target := g.MinEdges
+	if g.MaxEdges > g.MinEdges {
+		target += g.rng.Intn(g.MaxEdges - g.MinEdges + 1)
+	}
+	rec := graph.NewRecord()
+	edges := 0
+	for attempts := 0; edges < target && attempts < 50*target; attempts++ {
+		walk := g.Net.RandomWalk(g.rng, 8+g.rng.Intn(12))
+		if walk == nil {
+			continue
+		}
+		g.paths = append(g.paths, walk)
+		for i := 0; i+1 < len(walk) && edges < target; i++ {
+			from, to := g.Net.NodeName(walk[i]), g.Net.NodeName(walk[i+1])
+			if rec.HasEdge(from, to) {
+				continue
+			}
+			if err := rec.SetEdge(from, to, g.rng.Float64()*100); err != nil {
+				return nil, err
+			}
+			edges++
+		}
+	}
+	if edges == 0 {
+		return nil, fmt.Errorf("workload: could not grow a record on %s", g.Net.Name)
+	}
+	// Keep the retained path pool bounded.
+	if len(g.paths) > 1<<16 {
+		g.paths = g.paths[len(g.paths)-1<<15:]
+	}
+	return rec, nil
+}
+
+// walkPool returns the retained walk paths, generating a few if none exist
+// yet (query generation before any record generation).
+func (g *Generator) walkPool() [][]int32 {
+	for len(g.paths) < 16 {
+		if w := g.Net.RandomWalk(g.rng, 16); w != nil {
+			g.paths = append(g.paths, w)
+		}
+	}
+	return g.paths
+}
+
+// QueryPath draws one query path of exactly nEdges edges (or as many as the
+// sampled walk allows) from the walk-path pool: a contiguous subpath of a
+// retained random walk, so path-aggregation queries line up with stored
+// records.
+func (g *Generator) QueryPath(nEdges int) []string {
+	if nEdges < 1 {
+		nEdges = 1
+	}
+	pool := g.walkPool()
+	best := pool[g.rng.Intn(len(pool))]
+	for tries := 0; tries < 16 && len(best) < nEdges+1; tries++ {
+		cand := pool[g.rng.Intn(len(pool))]
+		if len(cand) > len(best) {
+			best = cand
+		}
+	}
+	if len(best) > nEdges+1 {
+		off := g.rng.Intn(len(best) - nEdges)
+		best = best[off : off+nEdges+1]
+	}
+	out := make([]string, len(best))
+	for i, n := range best {
+		out[i] = g.Net.NodeName(n)
+	}
+	return out
+}
+
+// QueryGraph draws a query graph with roughly nEdges edges by unioning query
+// paths. Small queries are single paths; larger ones union several, the way
+// complex structural conditions are posed over multiple routes. Generation
+// stops early when the walk pool saturates (it cannot produce more distinct
+// edges than the pool covers), so very large requests may return fewer
+// edges — matching how the paper's largest query graphs exceed any single
+// record and return empty answers.
+func (g *Generator) QueryGraph(nEdges int) *graph.Graph {
+	out := graph.NewGraph()
+	stall := 0
+	for out.NumElements() < nEdges && stall < 20 {
+		before := out.NumElements()
+		nodes := g.QueryPath(minInt(nEdges-out.NumElements(), 12))
+		for i := 0; i+1 < len(nodes); i++ {
+			out.AddEdge(nodes[i], nodes[i+1])
+		}
+		if out.NumElements() == before {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+	return out
+}
+
+// UniformQueries draws n query graphs of size nEdges each, uniformly over
+// the walk pool.
+func (g *Generator) UniformQueries(n, nEdges int) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = g.QueryGraph(nEdges)
+	}
+	return out
+}
+
+// UniformPathQueries draws n single-path query graphs with sizes in
+// [minEdges, maxEdges], for path-aggregation workloads.
+func (g *Generator) UniformPathQueries(n, minEdges, maxEdges int) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		size := minEdges
+		if maxEdges > minEdges {
+			size += g.rng.Intn(maxEdges - minEdges + 1)
+		}
+		nodes := g.QueryPath(size)
+		q := graph.NewGraph()
+		for j := 0; j+1 < len(nodes); j++ {
+			q.AddEdge(nodes[j], nodes[j+1])
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// ZipfQueries draws n queries from a pool of poolSize distinct query graphs
+// with Zipf(s=1.2) rank skew, so popular queries recur — the increased
+// sharing behind the larger view gains of Fig. 8.
+func (g *Generator) ZipfQueries(n, poolSize, nEdges int, pathOnly bool) []*graph.Graph {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	pool := make([]*graph.Graph, poolSize)
+	for i := range pool {
+		if pathOnly {
+			nodes := g.QueryPath(nEdges)
+			q := graph.NewGraph()
+			for j := 0; j+1 < len(nodes); j++ {
+				q.AddEdge(nodes[j], nodes[j+1])
+			}
+			pool[i] = q
+		} else {
+			pool[i] = g.QueryGraph(nEdges)
+		}
+	}
+	z := rand.NewZipf(g.rng, 1.2, 1, uint64(poolSize-1))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = pool[z.Uint64()]
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
