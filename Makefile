@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector gate for the concurrent read path: vet everything, then run
+# the packages that share state across goroutines (engine scratch pool,
+# sharded result cache, relation RWMutex, registry) plus the root facade.
+race:
+	$(GO) vet ./...
+	$(GO) test -race . ./internal/query/... ./internal/bitmap/... ./internal/colstore/...
+
+bench:
+	$(GO) test -run xxx -bench . ./...

@@ -7,6 +7,8 @@
 //	grovebench -exp all                 # the whole suite
 //	grovebench -exp fig3a -csv          # machine-readable output
 //	grovebench -exp fig6 -ny 100000     # scale a dataset up
+//	grovebench -exp batch -parallel     # batch speedup, NumCPU workers
+//	grovebench -exp batch -workers 8    # batch speedup, fixed pool size
 //	grovebench -list                    # list experiment ids
 package main
 
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"grove/internal/bench"
 )
@@ -24,11 +27,13 @@ func main() {
 		list = flag.Bool("list", false, "list experiments and exit")
 		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 
-		sens    = flag.Int("sens", 0, "sensitivity-unit record count (fig3/4/5 base; 0 = default)")
-		ny      = flag.Int("ny", 0, "NY dataset record count (fig6/8/9; 0 = default)")
-		gnu     = flag.Int("gnu", 0, "GNU dataset record count (fig7/8; 0 = default)")
-		queries = flag.Int("q", 0, "queries per workload (0 = default 100)")
-		seed    = flag.Int64("seed", 42, "workload seed")
+		sens     = flag.Int("sens", 0, "sensitivity-unit record count (fig3/4/5 base; 0 = default)")
+		ny       = flag.Int("ny", 0, "NY dataset record count (fig6/8/9; 0 = default)")
+		gnu      = flag.Int("gnu", 0, "GNU dataset record count (fig7/8; 0 = default)")
+		queries  = flag.Int("q", 0, "queries per workload (0 = default 100)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		parallel = flag.Bool("parallel", false, "run batch workloads across runtime.NumCPU() workers")
+		workers  = flag.Int("workers", 0, "worker-pool size for batch workloads (implies -parallel; 0 = NumCPU with -parallel)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,11 @@ func main() {
 	}
 	if *queries > 0 {
 		sc.NumQueries = *queries
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	} else if *parallel {
+		sc.Workers = runtime.NumCPU()
 	}
 
 	var experiments []bench.Experiment

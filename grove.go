@@ -89,8 +89,11 @@ func FlattenSequence(stops []string, legMeasures []float64) (*Record, error) {
 }
 
 // Store is a collection of graph records with bitmap indexes and
-// materialized graph views. It is not safe for concurrent mutation;
-// concurrent readers are safe between mutations.
+// materialized graph views. Queries and mutations may run concurrently:
+// the underlying relation takes its write lock inside every mutator and
+// queries hold its read lock for their whole execution, so answers are
+// always consistent with a single store version. For parallel batches use
+// ExecuteBatch / AggregateBatch (see DESIGN.md, "Concurrency model").
 type Store struct {
 	rel *colstore.Relation
 	reg *graph.Registry
@@ -132,6 +135,8 @@ func (s *Store) Add(rec *Record) uint32 {
 // and named) from the measure columns. Aliased nodes from DAG flattening
 // (A#2) appear under their aliases.
 func (s *Store) GetRecord(id uint32) (*Record, error) {
+	s.rel.BeginRead()
+	defer s.rel.EndRead()
 	if int(id) >= s.rel.NumRecords() {
 		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.rel.NumRecords())
 	}
@@ -254,6 +259,31 @@ func (s *Store) MatchPath(nodes ...string) (*Result, error) {
 		return nil, fmt.Errorf("grove: a path query needs at least 2 nodes")
 	}
 	return s.Match(PathOf(nodes...).ToGraph())
+}
+
+// ExecuteBatch answers a batch of graph queries, fanning them across a
+// worker pool of the given size (workers ≤ 0 selects runtime.NumCPU(); 1
+// runs sequentially). Results arrive in query order and are bit-for-bit
+// identical to a sequential run; workers share the store's result cache.
+// The paper's experiments all evaluate batches of 100 queries — this is
+// the parallel path for that shape of workload.
+func (s *Store) ExecuteBatch(graphs []*Graph, workers int) ([]*Result, error) {
+	queries := make([]*query.GraphQuery, len(graphs))
+	for i, g := range graphs {
+		queries[i] = query.NewGraphQuery(g)
+	}
+	return query.NewBatchExecutor(s.eng, workers).ExecuteGraphQueries(queries)
+}
+
+// AggregateBatch answers a batch of path-aggregation queries (f folded along
+// every maximal path of each graph) across a worker pool, with the same
+// ordering and determinism guarantees as ExecuteBatch.
+func (s *Store) AggregateBatch(graphs []*Graph, f AggFunc, workers int) ([]*AggResult, error) {
+	queries := make([]*query.PathAggQuery, len(graphs))
+	for i, g := range graphs {
+		queries[i] = query.NewPathAggQuery(g, f)
+	}
+	return query.NewBatchExecutor(s.eng, workers).ExecutePathAggQueries(queries)
 }
 
 // Aggregate answers a path-aggregation query: it matches g and folds f along
@@ -464,6 +494,8 @@ func (s *Store) MatchTagged(g *Graph, tags map[string]string) (*Bitmap, error) {
 		return nil, err
 	}
 	answer := res.Answer
+	s.rel.BeginRead()
+	defer s.rel.EndRead()
 	for k, v := range tags {
 		answer = answer.And(s.rel.FetchTagBitmap(k, v))
 	}

@@ -25,6 +25,9 @@ type Scale struct {
 	Fig5Records int
 	// NumQueries per workload (the paper uses 100).
 	NumQueries int
+	// Workers bounds the batch-executor pool for the parallel experiments;
+	// 0 means runtime.NumCPU().
+	Workers int
 	// Seed makes every dataset and workload draw deterministic.
 	Seed int64
 }

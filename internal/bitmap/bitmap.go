@@ -290,24 +290,13 @@ func (b *Bitmap) AndCardinality(other *Bitmap) int {
 
 // AndAll intersects all given bitmaps. With no arguments it returns an empty
 // bitmap. Bitmaps are intersected smallest-cardinality-first so intermediate
-// results shrink as early as possible.
+// results shrink as early as possible. The argument slice is left untouched;
+// callers that own their operand slice and an accumulator should use
+// AndAllInto directly to skip the defensive copy.
 func AndAll(bitmaps ...*Bitmap) *Bitmap {
-	if len(bitmaps) == 0 {
-		return New()
-	}
-	sorted := make([]*Bitmap, len(bitmaps))
-	copy(sorted, bitmaps)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Cardinality() < sorted[j].Cardinality()
-	})
-	out := sorted[0].Clone()
-	for _, bm := range sorted[1:] {
-		if out.IsEmpty() {
-			return out
-		}
-		out = out.And(bm)
-	}
-	return out
+	scratch := make([]*Bitmap, len(bitmaps))
+	copy(scratch, bitmaps)
+	return AndAllInto(New(), scratch...)
 }
 
 // OrAll unions all given bitmaps.

@@ -1,0 +1,265 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBitmap draws n values from [0, max) with the given rng.
+func randomBitmap(rng *rand.Rand, n int, max uint32) *Bitmap {
+	b := New()
+	for i := 0; i < n; i++ {
+		b.Add(rng.Uint32() % max)
+	}
+	return b
+}
+
+// layoutVariants returns semantically equal bitmaps in all three container
+// layouts (array, bitset, run) plus the original, so in-place kernels are
+// exercised across every receiver/operand pairing.
+func layoutVariants(b *Bitmap) []*Bitmap {
+	run := b.Clone()
+	run.RunOptimize()
+	dense := New()
+	b.Each(func(v uint32) bool {
+		dense.Add(v)
+		return true
+	})
+	return []*Bitmap{b, run, dense}
+}
+
+func TestAndInPlaceMatchesAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		n   int
+		max uint32
+	}{
+		{0, 1 << 16}, {50, 1 << 10}, {5000, 1 << 14}, {8000, 1 << 16},
+		{3000, 1 << 20}, {60000, 1 << 17},
+	}
+	for _, sa := range shapes {
+		for _, sb := range shapes {
+			a := randomBitmap(rng, sa.n, sa.max)
+			b := randomBitmap(rng, sb.n, sb.max)
+			want := a.And(b)
+			for _, other := range layoutVariants(b) {
+				got := a.Clone()
+				got.AndInPlace(other)
+				if !got.Equals(want) {
+					t.Fatalf("AndInPlace(%d/%d vs %d/%d) = card %d, want %d",
+						sa.n, sa.max, sb.n, sb.max, got.Cardinality(), want.Cardinality())
+				}
+			}
+		}
+	}
+}
+
+func TestAndInPlaceRunOperands(t *testing.T) {
+	// Range-built bitmaps exercise the run-container masks directly.
+	a := FromRange(100, 70000)
+	a.AddRange(200000, 200100)
+	b := FromRange(60000, 250000)
+	want := a.And(b)
+	for _, x := range layoutVariants(a) {
+		for _, y := range layoutVariants(b) {
+			got := x.Clone()
+			got.AndInPlace(y)
+			if !got.Equals(want) {
+				t.Fatalf("run AndInPlace mismatch: card %d want %d",
+					got.Cardinality(), want.Cardinality())
+			}
+		}
+	}
+}
+
+func TestAndAllIntoMatchesAndAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		width := 1 + rng.Intn(8)
+		bms := make([]*Bitmap, width)
+		for i := range bms {
+			bms[i] = randomBitmap(rng, 200+rng.Intn(5000), 1<<15)
+		}
+		want := AndAll(bms...)
+		dst := AndAllInto(New(), append([]*Bitmap(nil), bms...)...)
+		if !dst.Equals(want) {
+			t.Fatalf("trial %d: AndAllInto card %d, want %d",
+				trial, dst.Cardinality(), want.Cardinality())
+		}
+	}
+}
+
+func TestAndAllIntoReuseAndOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomBitmap(rng, 4000, 1<<14)
+	b := randomBitmap(rng, 4000, 1<<14)
+	c := randomBitmap(rng, 4000, 1<<14)
+
+	dst := New()
+	first := AndAllInto(dst, a, b)
+	if first != dst {
+		t.Fatal("AndAllInto did not return dst")
+	}
+	snapshot := first.Clone()
+
+	// The result must be detached from the inputs: mutating them afterwards
+	// must not change the accumulated answer (cache-retention contract).
+	a.AddRange(0, 1<<14)
+	if !first.Equals(snapshot) {
+		t.Fatal("result aliases an input bitmap")
+	}
+
+	// Reusing the same dst for another conjunction overwrites it fully.
+	second := AndAllInto(dst, b, c)
+	want := b.And(c)
+	if !second.Equals(want) {
+		t.Fatalf("reused dst: card %d, want %d", second.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestAndAllIntoEdgeCases(t *testing.T) {
+	if got := AndAllInto(nil); !got.IsEmpty() {
+		t.Fatal("empty conjunction not empty")
+	}
+	a := FromSlice([]uint32{1, 5, 9})
+	single := AndAllInto(New(), a)
+	if !single.Equals(a) {
+		t.Fatal("single-operand conjunction differs")
+	}
+	a.Add(100)
+	if single.Contains(100) {
+		t.Fatal("single-operand result aliases the input")
+	}
+	empty := AndAllInto(New(), a, New(), FromRange(0, 1000))
+	if !empty.IsEmpty() {
+		t.Fatal("conjunction with empty operand not empty")
+	}
+}
+
+func TestClearAndCopyFrom(t *testing.T) {
+	b := FromRange(0, 100000)
+	b.Clear()
+	if !b.IsEmpty() || b.Cardinality() != 0 {
+		t.Fatal("Clear left values behind")
+	}
+	src := FromSlice([]uint32{3, 70000, 1 << 20})
+	b.CopyFrom(src)
+	if !b.Equals(src) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	src.Add(42)
+	if b.Contains(42) {
+		t.Fatal("CopyFrom aliases the source")
+	}
+}
+
+// TestAndAllIntoConstantBitmapAllocs pins the O(1)-bitmaps contract: the
+// number of allocations per conjunction must not grow with the plan width
+// (it would be ~width bitmaps plus containers with the allocating path).
+func TestAndAllIntoConstantBitmapAllocs(t *testing.T) {
+	mk := func(width int) []*Bitmap {
+		rng := rand.New(rand.NewSource(17))
+		bms := make([]*Bitmap, width)
+		for i := range bms {
+			// Dense over a single chunk: the accumulator stays one container.
+			bms[i] = randomBitmap(rng, 30000, 1<<16)
+		}
+		return bms
+	}
+	allocsAt := func(width int) float64 {
+		bms := mk(width)
+		dst := New()
+		return testing.AllocsPerRun(20, func() {
+			AndAllInto(dst, bms...)
+		})
+	}
+	narrow, wide := allocsAt(4), allocsAt(32)
+	// Allow slack for the cardinality scratch slice and container layout
+	// conversions, but a linear-in-width regime (≥1 alloc per operand) must
+	// fail.
+	if wide > narrow+8 {
+		t.Fatalf("allocations grow with plan width: %v at width 4 vs %v at width 32",
+			narrow, wide)
+	}
+}
+
+func TestRemoveRangeContainerGranularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	type rangeCase struct{ lo, hi uint32 }
+	cases := []rangeCase{
+		{0, 0}, {10, 10}, {100, 50}, // no-ops
+		{0, 1 << 21},             // everything
+		{65536, 131072},          // exactly one chunk
+		{65000, 140000},          // boundary chunks both sides
+		{1, 2},                   // single value
+		{1 << 20, 1<<20 + 65536}, // aligned chunk high up
+		{70000, 70001},           // single value inside a chunk
+	}
+	for _, tc := range cases {
+		b := randomBitmap(rng, 20000, 1<<21)
+		b.AddRange(60000, 90000) // guarantee runs across chunk borders
+		want := New()
+		b.Each(func(v uint32) bool {
+			if v < tc.lo || v >= tc.hi {
+				want.Add(v)
+			}
+			return true
+		})
+		got := b.Clone()
+		got.RunOptimize() // exercise run-container boundary trimming too
+		got.RemoveRange(tc.lo, tc.hi)
+		if !got.Equals(want) {
+			t.Fatalf("RemoveRange[%d,%d): card %d, want %d",
+				tc.lo, tc.hi, got.Cardinality(), want.Cardinality())
+		}
+		plain := b.Clone()
+		plain.RemoveRange(tc.lo, tc.hi)
+		if !plain.Equals(want) {
+			t.Fatalf("RemoveRange[%d,%d) (mixed layouts): card %d, want %d",
+				tc.lo, tc.hi, plain.Cardinality(), want.Cardinality())
+		}
+	}
+}
+
+// --- benchmarks -------------------------------------------------------------
+
+func benchOperands(width int) []*Bitmap {
+	rng := rand.New(rand.NewSource(23))
+	bms := make([]*Bitmap, width)
+	for i := range bms {
+		bms[i] = randomBitmap(rng, 40000, 1<<18)
+	}
+	return bms
+}
+
+func BenchmarkAndAllWidth16(b *testing.B) {
+	bms := benchOperands(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndAll(bms...)
+	}
+}
+
+func BenchmarkAndAllIntoWidth16(b *testing.B) {
+	bms := benchOperands(16)
+	dst := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndAllInto(dst, bms...)
+	}
+}
+
+func BenchmarkRemoveRange(b *testing.B) {
+	src := New()
+	src.AddRange(0, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bm := src.Clone()
+		b.StartTimer()
+		bm.RemoveRange(1000, 1<<19)
+	}
+}

@@ -49,24 +49,47 @@ func (b *Bitmap) AndNotCardinality(other *Bitmap) int {
 	return b.Cardinality() - b.AndCardinality(other)
 }
 
-// RemoveRange deletes every value in [lo, hi).
+// RemoveRange deletes every value in [lo, hi). It operates at container
+// granularity: chunks fully inside the range are dropped whole, and only the
+// (at most two) boundary chunks are rewritten — O(chunks + boundary work)
+// rather than O(n·remove) collect-then-delete.
 func (b *Bitmap) RemoveRange(lo, hi uint32) {
-	if hi <= lo {
+	if hi <= lo || len(b.keys) == 0 {
 		return
 	}
-	// Collect then delete to keep iteration simple; ranges in grove are
-	// small (record-id windows).
-	var doomed []uint32
-	b.Each(func(v uint32) bool {
-		if v >= hi {
-			return false
+	hiIncl := hi - 1
+	loKey, hiKey := uint16(lo>>16), uint16(hiIncl>>16)
+	start, _ := b.chunkIndex(loKey)
+	write := start
+	for i := start; i < len(b.keys); i++ {
+		key := b.keys[i]
+		if key > hiKey {
+			// Past the range: slide the surviving tail down.
+			b.keys[write] = key
+			b.containers[write] = b.containers[i]
+			write++
+			continue
 		}
-		if v >= lo {
-			doomed = append(doomed, v)
+		chunkLo, chunkHi := uint16(0), uint16(0xffff)
+		if key == loKey {
+			chunkLo = uint16(lo)
 		}
-		return true
-	})
-	for _, v := range doomed {
-		b.Remove(v)
+		if key == hiKey {
+			chunkHi = uint16(hiIncl)
+		}
+		if chunkLo == 0 && chunkHi == 0xffff {
+			continue // chunk fully covered: drop it whole
+		}
+		doomed := &runContainer{runs: []interval16{{start: chunkLo, length: chunkHi - chunkLo}}}
+		if c := b.containers[i].andNot(doomed); c != nil && c.cardinality() > 0 {
+			b.keys[write] = key
+			b.containers[write] = c
+			write++
+		}
 	}
+	for k := write; k < len(b.containers); k++ {
+		b.containers[k] = nil
+	}
+	b.keys = b.keys[:write]
+	b.containers = b.containers[:write]
 }

@@ -17,6 +17,12 @@ import (
 // an explicit edge→partition map. Edges absent from the map fall back to the
 // default rule. Pass nil to restore the default.
 func (r *Relation) SetPartitionMap(m map[EdgeID]int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setPartitionMapLocked(m)
+}
+
+func (r *Relation) setPartitionMapLocked(m map[EdgeID]int) error {
 	if m != nil {
 		counts := make(map[int]int)
 		for _, p := range m {
@@ -41,6 +47,8 @@ func (r *Relation) SetPartitionMap(m map[EdgeID]int) error {
 // edges fill leftover slots. The assignment is applied with SetPartitionMap
 // and also returned.
 func (r *Relation) ClusterPartitions(workload [][]EdgeID) (map[EdgeID]int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	type part struct {
 		id   int
 		free int
@@ -136,7 +144,7 @@ func (r *Relation) ClusterPartitions(workload [][]EdgeID) (map[EdgeID]int, error
 			p.free--
 		}
 	}
-	if err := r.SetPartitionMap(assign); err != nil {
+	if err := r.setPartitionMapLocked(assign); err != nil {
 		return nil, err
 	}
 	return assign, nil

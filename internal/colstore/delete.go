@@ -16,8 +16,10 @@ import (
 // Delete marks a record as deleted. Idempotent; reports whether the record
 // was live before.
 func (r *Relation) Delete(rec uint32) (bool, error) {
-	if rec >= r.numRecords {
-		return false, fmt.Errorf("colstore: delete of unknown record %d (have %d)", rec, r.numRecords)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := r.numRecords.Load(); rec >= n {
+		return false, fmt.Errorf("colstore: delete of unknown record %d (have %d)", rec, n)
 	}
 	if r.deleted == nil {
 		r.deleted = bitmap.New()
@@ -28,6 +30,8 @@ func (r *Relation) Delete(rec uint32) (bool, error) {
 
 // Undelete restores a deleted record; reports whether it was deleted.
 func (r *Relation) Undelete(rec uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.deleted == nil {
 		return false
 	}

@@ -64,14 +64,18 @@ type manifestAgg struct {
 
 const formatVersion = 1
 
-// Save writes the relation to dir, creating it if needed.
+// Save writes the relation to dir, creating it if needed. It holds the read
+// lock for the duration, so concurrent queries proceed but writers wait until
+// the snapshot is on disk.
 func (r *Relation) Save(dir string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("colstore: save: %w", err)
 	}
 	m := manifest{
 		FormatVersion: formatVersion,
-		NumRecords:    r.numRecords,
+		NumRecords:    r.numRecords.Load(),
 		PartWidth:     r.partWidth,
 	}
 	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
@@ -201,7 +205,7 @@ func Load(dir string) (*Relation, error) {
 	rd := bufio.NewReaderSize(f, 1<<20)
 
 	r := NewRelation(m.PartWidth)
-	r.numRecords = m.NumRecords
+	r.numRecords.Store(m.NumRecords)
 
 	for _, me := range m.Edges {
 		b := bitmap.New()

@@ -3,6 +3,8 @@ package colstore
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"grove/internal/agg"
 	"grove/internal/bitmap"
@@ -46,8 +48,16 @@ type AggregateView struct {
 // one (measure, bitmap) column pair per edge id, plus materialized view
 // columns. All query-visible fetches go through the Fetch* methods so the
 // I/O cost model can account them.
+//
+// Concurrency: the relation is safe for many concurrent readers alongside
+// writers. Every mutator takes the write lock internally; readers bracket
+// each query with BeginRead/EndRead (the fetch accessors return shared
+// bitmap pointers that are iterated after the fetch call returns, so the
+// read lock must span the whole query, not just the fetch). Version and
+// NumRecords are atomics so caches can snapshot them without any lock.
 type Relation struct {
-	numRecords uint32
+	mu         sync.RWMutex
+	numRecords atomic.Uint32
 	partWidth  int
 	measures   map[EdgeID]*MeasureColumn            // default measure columns m_i
 	named      map[string]map[EdgeID]*MeasureColumn // named measure columns m_i^name
@@ -57,7 +67,7 @@ type Relation struct {
 	tags       map[string]map[string]*BitmapColumn // key → value → records
 	partMap    map[EdgeID]int                      // optional clustered partition assignment (§6.1)
 	deleted    *bitmap.Bitmap                      // soft-deleted record ids
-	version    uint64                              // bumped on every mutation
+	version    atomic.Uint64                       // bumped on every mutation
 	tracker    Tracker
 }
 
@@ -82,24 +92,37 @@ func (r *Relation) Tracker() *Tracker { return &r.tracker }
 
 // Version returns a counter that changes whenever the relation mutates
 // (records, measures, views, deletes). Caches key their entries on it.
-func (r *Relation) Version() uint64 { return r.version }
+func (r *Relation) Version() uint64 { return r.version.Load() }
 
-func (r *Relation) bumpVersion() { r.version++ }
+func (r *Relation) bumpVersion() { r.version.Add(1) }
+
+// BeginRead takes the relation's read lock. Query engines hold it across a
+// whole query — the Fetch* accessors hand out shared bitmap pointers that
+// the engine iterates after the call returns, so per-fetch locking would
+// not be enough. Multiple readers proceed concurrently; writers wait.
+// BeginRead must not be nested on the same goroutine (RWMutex read locks
+// are not reentrant once a writer is queued).
+func (r *Relation) BeginRead() { r.mu.RLock() }
+
+// EndRead releases the read lock taken by BeginRead.
+func (r *Relation) EndRead() { r.mu.RUnlock() }
 
 // NewRecord allocates and returns the next record id.
 func (r *Relation) NewRecord() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
-	id := r.numRecords
-	r.numRecords++
-	return id
+	return r.numRecords.Add(1) - 1
 }
 
 // NumRecords returns the number of records loaded.
-func (r *Relation) NumRecords() int { return int(r.numRecords) }
+func (r *Relation) NumRecords() int { return int(r.numRecords.Load()) }
 
 // SetEdge marks record rec as containing edge without recording a measure
 // (the paper drops measure columns for elements no application measures).
 func (r *Relation) SetEdge(rec uint32, edge EdgeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	r.edgeBitmap(edge).Set(rec)
 }
@@ -107,6 +130,12 @@ func (r *Relation) SetEdge(rec uint32, edge EdgeID) {
 // SetEdgeMeasure marks record rec as containing edge with default-measure
 // value v.
 func (r *Relation) SetEdgeMeasure(rec uint32, edge EdgeID, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setEdgeMeasureLocked(rec, edge, v)
+}
+
+func (r *Relation) setEdgeMeasureLocked(rec uint32, edge EdgeID, v float64) {
 	r.bumpVersion()
 	r.edgeBitmap(edge).Set(rec)
 	m, ok := r.measures[edge]
@@ -120,11 +149,13 @@ func (r *Relation) SetEdgeMeasure(rec uint32, edge EdgeID, v float64) {
 // SetEdgeMeasureNamed marks record rec as containing edge with a value in
 // the named measure column m_edge^name ("" = default measure).
 func (r *Relation) SetEdgeMeasureNamed(rec uint32, edge EdgeID, name string, v float64) {
-	r.bumpVersion()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if name == "" {
-		r.SetEdgeMeasure(rec, edge, v)
+		r.setEdgeMeasureLocked(rec, edge, v)
 		return
 	}
+	r.bumpVersion()
 	r.edgeBitmap(edge).Set(rec)
 	cols, ok := r.named[name]
 	if !ok {
@@ -361,6 +392,8 @@ func (r *Relation) JoinPartitions(span int, answer *bitmap.Bitmap) {
 // the given edges. Building is a bulk operation and is not charged to query
 // I/O. The edge list is defensively copied, sorted and deduplicated.
 func (r *Relation) MaterializeView(name string, edges []EdgeID) (*GraphView, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	if name == "" {
 		return nil, fmt.Errorf("colstore: graph view needs a name")
@@ -403,6 +436,8 @@ func (r *Relation) MaterializeAggView(name string, path []EdgeID, fn agg.Func) (
 // MaterializeAggViewOn is MaterializeAggView over a named measure column
 // ("" = default): the view stores F(m_e^measureName along path).
 func (r *Relation) MaterializeAggViewOn(name string, path []EdgeID, fn agg.Func, measureName string) (*AggregateView, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	if name == "" {
 		return nil, fmt.Errorf("colstore: aggregate view needs a name")
@@ -474,6 +509,9 @@ func (r *Relation) pathMeasures(rec uint32, path []EdgeID, measureName string, v
 // re-bound are skipped (Load rejects unknown function names, so this cannot
 // happen for stores grove wrote itself).
 func (r *Relation) UpdateViewsForRecord(rec uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bumpVersion()
 	for _, v := range r.views {
 		all := true
 		for _, e := range v.Edges {
@@ -538,6 +576,8 @@ func (r *Relation) AggViews() []*AggregateView {
 
 // DropView removes a graph view.
 func (r *Relation) DropView(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	if _, ok := r.views[name]; !ok {
 		return false
@@ -548,6 +588,8 @@ func (r *Relation) DropView(name string) bool {
 
 // DropAggView removes an aggregate view.
 func (r *Relation) DropAggView(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	if _, ok := r.aggViews[name]; !ok {
 		return false
@@ -559,6 +601,8 @@ func (r *Relation) DropAggView(name string) bool {
 // DropAllViews removes every materialized view, returning the relation to its
 // base (indexes-only) state.
 func (r *Relation) DropAllViews() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bumpVersion()
 	r.views = make(map[string]*GraphView)
 	r.aggViews = make(map[string]*AggregateView)
@@ -602,6 +646,8 @@ func (r *Relation) SizeBytes() int64 { return r.BaseSizeBytes() + r.ViewSizeByte
 // RunOptimize converts all bitmap columns to their most compact layouts.
 // Call after bulk loading.
 func (r *Relation) RunOptimize() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, b := range r.bitmaps {
 		b.Bits().RunOptimize()
 	}

@@ -19,8 +19,10 @@ func (r *Relation) Tag(rec uint32, key, value string) error {
 	if key == "" {
 		return fmt.Errorf("colstore: empty tag key")
 	}
-	if rec >= r.numRecords {
-		return fmt.Errorf("colstore: tag on unknown record %d (have %d)", rec, r.numRecords)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := r.numRecords.Load(); rec >= n {
+		return fmt.Errorf("colstore: tag on unknown record %d (have %d)", rec, n)
 	}
 	if r.tags == nil {
 		r.tags = make(map[string]map[string]*BitmapColumn)

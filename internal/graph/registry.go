@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"grove/internal/colstore"
 )
@@ -12,7 +13,12 @@ import (
 // stable column id to every structural element name so all records and
 // queries refer to common identifiers. Ids are dense (0, 1, 2, …) and double
 // as the column indexes of the master relation.
+//
+// The registry is safe for concurrent use: loaders assign ids while query
+// engines look names up, so both paths take an internal RWMutex (lookups
+// share the read lock).
 type Registry struct {
+	mu   sync.RWMutex
 	ids  map[EdgeKey]colstore.EdgeID
 	keys []EdgeKey
 }
@@ -24,10 +30,18 @@ func NewRegistry() *Registry {
 
 // ID returns the edge id of k, assigning the next free id on first use.
 func (r *Registry) ID(k EdgeKey) colstore.EdgeID {
-	if id, ok := r.ids[k]; ok {
+	r.mu.RLock()
+	id, ok := r.ids[k]
+	r.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := colstore.EdgeID(len(r.keys))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[k]; ok { // assigned between the two locks
+		return id
+	}
+	id = colstore.EdgeID(len(r.keys))
 	r.ids[k] = id
 	r.keys = append(r.keys, k)
 	return id
@@ -35,12 +49,16 @@ func (r *Registry) ID(k EdgeKey) colstore.EdgeID {
 
 // Lookup returns the id of k without assigning.
 func (r *Registry) Lookup(k EdgeKey) (colstore.EdgeID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	id, ok := r.ids[k]
 	return id, ok
 }
 
 // Key returns the element named by id.
 func (r *Registry) Key(id colstore.EdgeID) (EdgeKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if int(id) >= len(r.keys) {
 		return EdgeKey{}, false
 	}
@@ -48,7 +66,11 @@ func (r *Registry) Key(id colstore.EdgeID) (EdgeKey, bool) {
 }
 
 // Len returns the number of registered elements (the edge-domain size).
-func (r *Registry) Len() int { return len(r.keys) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys)
+}
 
 // IDs maps a set of element keys to ids, assigning as needed.
 func (r *Registry) IDs(keys []EdgeKey) []colstore.EdgeID {
@@ -70,10 +92,12 @@ func (r *Registry) Save(path string) error {
 		From string `json:"from"`
 		To   string `json:"to"`
 	}
+	r.mu.RLock()
 	entries := make([]entry, len(r.keys))
 	for i, k := range r.keys {
 		entries[i] = entry{From: k.From, To: k.To}
 	}
+	r.mu.RUnlock()
 	b, err := json.Marshal(entries)
 	if err != nil {
 		return fmt.Errorf("graph: save registry: %w", err)

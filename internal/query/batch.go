@@ -1,0 +1,119 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchExecutor fans a slice of queries across a bounded worker pool. The
+// paper's experiments (Figs. 3, 6–8) all evaluate batches of 100 queries;
+// a batch is embarrassingly parallel once the relation read path is
+// concurrent-safe, so the executor simply hands out query indexes to
+// workers, each running its own Engine clone (shared relation, registry and
+// result cache; private scratch).
+//
+// Results are deterministic: result slot i always holds the answer of query
+// i, whichever worker computed it, and on failure the error of the
+// lowest-index failing query is returned — identical to what a sequential
+// run would report.
+type BatchExecutor struct {
+	eng     *Engine
+	workers int
+}
+
+// NewBatchExecutor wraps an engine for batch execution with the given
+// worker count (≤ 0 selects runtime.NumCPU()).
+func NewBatchExecutor(eng *Engine, workers int) *BatchExecutor {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &BatchExecutor{eng: eng, workers: workers}
+}
+
+// Workers returns the configured worker-pool size.
+func (b *BatchExecutor) Workers() int { return b.workers }
+
+// ExecuteGraphQueries runs every query and returns the results in query
+// order. A single worker (or a single query) degrades to a plain sequential
+// loop with no goroutine or synchronization overhead.
+func (b *BatchExecutor) ExecuteGraphQueries(queries []*GraphQuery) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	err := b.run(len(queries), func(eng *Engine, i int) error {
+		res, err := eng.ExecuteGraphQuery(queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ExecutePathAggQueries runs every path-aggregation query and returns the
+// results in query order.
+func (b *BatchExecutor) ExecutePathAggQueries(queries []*PathAggQuery) ([]*AggResult, error) {
+	results := make([]*AggResult, len(queries))
+	err := b.run(len(queries), func(eng *Engine, i int) error {
+		res, err := eng.ExecutePathAggQuery(queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// run executes fn(engine, i) for i in [0, n) across the worker pool. Work
+// is distributed by an atomic cursor, so fast workers take more queries and
+// stragglers never gate the batch; each worker keeps one engine clone (and
+// thereby one scratch) for its whole share of the batch.
+func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := b.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(b.eng, i); err != nil {
+				return fmt.Errorf("query %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := b.eng.Clone()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(eng, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
+}

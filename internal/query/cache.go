@@ -1,8 +1,8 @@
 package query
 
 import (
-	"fmt"
-	"strings"
+	"container/list"
+	"strconv"
 	"sync"
 
 	"grove/internal/bitmap"
@@ -15,83 +15,144 @@ import (
 // invalidates the whole cache, which keeps correctness trivial — the
 // workloads grove targets are read-mostly between ingest batches (§2).
 //
-// The cache is bounded; when full, an arbitrary entry is evicted (map
-// iteration order), which is effectively random replacement.
+// The cache is split into shards selected by a hash of the key, so the
+// workers of a BatchExecutor do not serialize on a single mutex. Each shard
+// is an independent LRU: when full, the least recently used entry of that
+// shard is evicted (replacing the earlier whole-cache random eviction).
+// Version invalidation is also per shard and lazy — a shard drops its
+// entries the first time it is touched at a newer version.
 type ResultCache struct {
-	mu       sync.Mutex
 	capacity int
-	version  uint64
-	entries  map[string]*bitmap.Bitmap
-	hits     int64
-	misses   int64
+	shards   []*cacheShard
+}
+
+const defaultCacheShards = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	version uint64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key    string
+	answer *bitmap.Bitmap
 }
 
 // NewResultCache returns a cache holding up to capacity answers
-// (capacity ≤ 0 selects 256).
+// (capacity ≤ 0 selects 256). The shard count is fixed; each shard holds at
+// least one entry, so tiny capacities degrade to per-shard direct-mapped
+// caches rather than to a single contended LRU.
 func NewResultCache(capacity int) *ResultCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &ResultCache{
-		capacity: capacity,
-		entries:  make(map[string]*bitmap.Bitmap, capacity),
+	c := &ResultCache{capacity: capacity, shards: make([]*cacheShard, defaultCacheShards)}
+	per := capacity / defaultCacheShards
+	if per < 1 {
+		per = 1
 	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:     per,
+			entries: make(map[string]*list.Element, per),
+			lru:     list.New(),
+		}
+	}
+	return c
 }
 
-// cacheKey canonicalizes a query's edge-id universe.
+// cacheKey canonicalizes a query's edge-id universe. Hot path: plain
+// strconv appends into one grown-once buffer (the earlier fmt.Fprintf
+// version allocated per element).
 func cacheKey(universe []colstore.EdgeID) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 9*len(universe))
 	for i, e := range universe {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&sb, "%x", uint32(e))
+		buf = strconv.AppendUint(buf, uint64(e), 16)
 	}
-	return sb.String()
+	return string(buf)
+}
+
+// shard selects the shard for a key (FNV-1a over the key bytes).
+func (c *ResultCache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
 }
 
 // get returns a cached answer for the universe at the given relation
-// version, or nil.
+// version, or nil. Callers must not mutate the returned bitmap.
 func (c *ResultCache) get(version uint64, key string) *bitmap.Bitmap {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.version != version {
-		c.entries = make(map[string]*bitmap.Bitmap, c.capacity)
-		c.version = version
-		c.misses++
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version != version {
+		s.reset(version)
+		s.misses++
 		return nil
 	}
-	if b, ok := c.entries[key]; ok {
-		c.hits++
-		return b
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*cacheEntry).answer
 	}
-	c.misses++
+	s.misses++
 	return nil
 }
 
 // put stores an answer computed at the given version.
 func (c *ResultCache) put(version uint64, key string, answer *bitmap.Bitmap) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.version != version {
-		c.entries = make(map[string]*bitmap.Bitmap, c.capacity)
-		c.version = version
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version != version {
+		s.reset(version)
 	}
-	if len(c.entries) >= c.capacity {
-		for k := range c.entries { // random replacement
-			delete(c.entries, k)
-			break
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).answer = answer
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.lru.Len() >= s.cap {
+		if oldest := s.lru.Back(); oldest != nil {
+			s.lru.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
 		}
 	}
-	c.entries[key] = answer
+	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, answer: answer})
 }
 
-// Stats returns cumulative hit/miss counts.
+// reset drops a shard's entries and moves it to the given version. Called
+// with the shard lock held.
+func (s *cacheShard) reset(version uint64) {
+	s.entries = make(map[string]*list.Element, s.cap)
+	s.lru.Init()
+	s.version = version
+}
+
+// Stats returns cumulative hit/miss counts across all shards.
 func (c *ResultCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // EnableCache attaches a result cache to the engine (nil disables caching).
+// The same cache may be shared by many engines — e.g. the per-worker clones
+// of a BatchExecutor — so repeated queries hit regardless of which worker
+// computed them first.
 func (e *Engine) EnableCache(c *ResultCache) { e.cache = c }

@@ -1,8 +1,12 @@
 package query
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"grove/internal/bitmap"
+	"grove/internal/colstore"
 	"grove/internal/graph"
 )
 
@@ -118,5 +122,81 @@ func TestResultCacheDefaultCapacity(t *testing.T) {
 	c := NewResultCache(0)
 	if c.capacity != 256 {
 		t.Errorf("default capacity = %d", c.capacity)
+	}
+}
+
+// TestResultCacheLRUEviction drives three same-shard keys through the real
+// put/get path: the entry refreshed by a get must survive eviction, the
+// least recently used one must go.
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(2 * defaultCacheShards) // per-shard capacity 2
+	target := c.shard(cacheKey([]colstore.EdgeID{0}))
+	keys := make([]string, 0, 3)
+	for i := 0; len(keys) < 3 && i < 1<<16; i++ {
+		k := cacheKey([]colstore.EdgeID{colstore.EdgeID(i)})
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < 3 {
+		t.Fatal("could not find three keys in one shard")
+	}
+	ans := bitmap.FromSlice([]uint32{1})
+	c.put(1, keys[0], ans)
+	c.put(1, keys[1], ans)
+	c.get(1, keys[0]) // refresh keys[0]: the LRU victim is now keys[1]
+	c.put(1, keys[2], ans)
+	if c.get(1, keys[0]) == nil {
+		t.Error("recently used entry evicted")
+	}
+	if c.get(1, keys[1]) != nil {
+		t.Error("least recently used entry survived")
+	}
+	if c.get(1, keys[2]) == nil {
+		t.Error("new entry missing")
+	}
+}
+
+// --- benchmarks -------------------------------------------------------------
+
+// fprintfCacheKey is the pre-optimization implementation, kept so the
+// benchmark pair documents what the strconv rewrite buys on the cached-query
+// hot path.
+func fprintfCacheKey(universe []colstore.EdgeID) string {
+	var sb strings.Builder
+	for i, e := range universe {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%x", uint32(e))
+	}
+	return sb.String()
+}
+
+func benchUniverse() []colstore.EdgeID {
+	u := make([]colstore.EdgeID, 12)
+	for i := range u {
+		u[i] = colstore.EdgeID(i*7919 + 13)
+	}
+	return u
+}
+
+func BenchmarkCacheKey(b *testing.B) {
+	u := benchUniverse()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cacheKey(u) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkCacheKeyFprintf(b *testing.B) {
+	u := benchUniverse()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if fprintfCacheKey(u) == "" {
+			b.Fatal("empty key")
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"grove/internal/bitmap"
 	"grove/internal/colstore"
@@ -14,6 +15,10 @@ import (
 // Engine executes graph queries over a master relation. UseViews controls
 // whether the planner rewrites queries against materialized views (§5.3) or
 // runs the view-oblivious plan; the Fig. 6–8 experiments compare the two.
+//
+// Query execution is safe for concurrent use (per-query scratch comes from
+// a pool); mutating the exported fields or EnableCache concurrently with
+// queries is not.
 type Engine struct {
 	Rel      *colstore.Relation
 	Reg      *graph.Registry
@@ -24,9 +29,21 @@ type Engine struct {
 	cache *ResultCache
 }
 
+// bmsPool recycles the operand slices of the structural AND phase across
+// queries and goroutines, so executing a query allocates O(1) bitmaps
+// regardless of plan width.
+var bmsPool = sync.Pool{New: func() any { return new([]*bitmap.Bitmap) }}
+
 // NewEngine returns a view-aware engine.
 func NewEngine(rel *colstore.Relation, reg *graph.Registry) *Engine {
 	return &Engine{Rel: rel, Reg: reg, UseViews: true}
+}
+
+// Clone returns an engine sharing rel, registry, view setting and result
+// cache with e, but with its own scratch — safe to use from another
+// goroutine concurrently with e.
+func (e *Engine) Clone() *Engine {
+	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews, cache: e.cache}
 }
 
 // queryEdgeIDs resolves the structural elements of a query graph to edge
@@ -72,16 +89,31 @@ func (r *Result) NumRecords() int { return r.Answer.Cardinality() }
 
 // ExecuteGraphQuery evaluates the structural part of a graph query:
 // plan (greedy rewrite when UseViews), fetch the planned bitmap columns, AND
-// them (§4.2).
+// them (§4.2). The relation's read lock is held for the whole query, so the
+// answer — and any cache entry made from it — is consistent with a single
+// relation version even while writers run concurrently.
 func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty graph query")
 	}
+	e.Rel.BeginRead()
+	defer e.Rel.EndRead()
+	return e.executeGraphQueryLocked(q)
+}
+
+// executeGraphQueryLocked is ExecuteGraphQuery with the relation read lock
+// already held (BeginRead is not reentrant, so compound executions — path
+// aggregation, boolean expressions — route through this).
+func (e *Engine) executeGraphQueryLocked(q *GraphQuery) (*Result, error) {
 	universe := e.queryEdgeIDs(q.G)
+	// Read under the lock: the version cannot move while we hold it, so the
+	// cache entry written below is tagged with exactly the version whose
+	// data produced the answer.
+	version := e.Rel.Version()
 	var key string
 	if e.cache != nil {
 		key = cacheKey(universe)
-		if answer := e.cache.get(e.Rel.Version(), key); answer != nil {
+		if answer := e.cache.get(version, key); answer != nil {
 			e.Rel.AccountRecordsReturned(answer.Cardinality())
 			return &Result{Query: q, Plan: CoverPlan{}, Answer: answer, eng: e, cached: true}, nil
 		}
@@ -93,10 +125,12 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 		plan = PlanWithoutViews(universe)
 	}
 
-	bms := make([]*bitmap.Bitmap, 0, plan.NumBitmaps())
+	scratch := bmsPool.Get().(*[]*bitmap.Bitmap)
+	bms := (*scratch)[:0]
 	for _, name := range plan.Views {
 		b, err := e.Rel.FetchViewBitmap(name)
 		if err != nil {
+			bmsPool.Put(scratch)
 			return nil, err
 		}
 		bms = append(bms, b)
@@ -104,6 +138,7 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 	for _, name := range plan.AggViews {
 		b, err := e.Rel.FetchAggViewBitmap(name)
 		if err != nil {
+			bmsPool.Put(scratch)
 			return nil, err
 		}
 		bms = append(bms, b)
@@ -111,9 +146,16 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 	for _, id := range plan.Edges {
 		bms = append(bms, e.Rel.FetchEdgeBitmap(id))
 	}
-	answer := e.Rel.MaskDeleted(bitmap.AndAll(bms...))
+	// The conjunction intersects into one fresh destination the caller (and
+	// the cache) owns; the fetched column bitmaps are never mutated.
+	answer := e.Rel.MaskDeleted(bitmap.AndAllInto(bitmap.New(), bms...))
+	for i := range bms {
+		bms[i] = nil // don't pin column bitmaps from the pool
+	}
+	*scratch = bms[:0]
+	bmsPool.Put(scratch)
 	if e.cache != nil {
-		e.cache.put(e.Rel.Version(), key, answer)
+		e.cache.put(version, key, answer)
 	}
 	e.Rel.AccountRecordsReturned(answer.Cardinality())
 	return &Result{Query: q, Plan: plan, Answer: answer, eng: e}, nil
@@ -129,6 +171,8 @@ func (r *Result) FetchMeasures() int64 {
 		return 0 // nothing qualified; no measure columns are read
 	}
 	e := r.eng
+	e.Rel.BeginRead()
+	defer e.Rel.EndRead()
 	elems := r.Query.G.Elements()
 	recs := r.Answer.ToSlice()
 	var scanned int64
@@ -169,11 +213,18 @@ func (r *Result) FetchMeasures() int64 {
 }
 
 // EvalExpr evaluates a boolean combination of graph queries (§3.2) and
-// returns the combined answer set.
+// returns the combined answer set. The whole expression runs under one read
+// lock, so all leaves see the same relation version.
 func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
+	e.Rel.BeginRead()
+	defer e.Rel.EndRead()
+	return e.evalExprLocked(expr)
+}
+
+func (e *Engine) evalExprLocked(expr Expr) (*bitmap.Bitmap, error) {
 	switch x := expr.(type) {
 	case Leaf:
-		res, err := e.ExecuteGraphQuery(x.Q)
+		res, err := e.executeGraphQueryLocked(x.Q)
 		if err != nil {
 			return nil, err
 		}
@@ -182,12 +233,12 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: AND with no operands")
 		}
-		acc, err := e.EvalExpr(x.Operands[0])
+		acc, err := e.evalExprLocked(x.Operands[0])
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.EvalExpr(op)
+			b, err := e.evalExprLocked(op)
 			if err != nil {
 				return nil, err
 			}
@@ -198,12 +249,12 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: OR with no operands")
 		}
-		acc, err := e.EvalExpr(x.Operands[0])
+		acc, err := e.evalExprLocked(x.Operands[0])
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.EvalExpr(op)
+			b, err := e.evalExprLocked(op)
 			if err != nil {
 				return nil, err
 			}
@@ -211,11 +262,11 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 		}
 		return acc, nil
 	case Diff:
-		a, err := e.EvalExpr(x.A)
+		a, err := e.evalExprLocked(x.A)
 		if err != nil {
 			return nil, err
 		}
-		b, err := e.EvalExpr(x.B)
+		b, err := e.evalExprLocked(x.B)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +383,11 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 	if q.Agg.Fold == nil || q.Agg.Lift == nil {
 		return nil, fmt.Errorf("query: aggregation function not set")
 	}
-	structural, err := e.ExecuteGraphQuery(&GraphQuery{G: q.G})
+	// One read lock spans the structural filter and the measure scans, so
+	// the aggregates are computed over exactly the records the filter saw.
+	e.Rel.BeginRead()
+	defer e.Rel.EndRead()
+	structural, err := e.executeGraphQueryLocked(&GraphQuery{G: q.G})
 	if err != nil {
 		return nil, err
 	}

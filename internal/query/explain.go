@@ -61,6 +61,8 @@ func (e *Engine) Explain(q *GraphQuery) (Explanation, error) {
 		}
 	}
 	universe := e.queryEdgeIDs(q.G)
+	e.Rel.BeginRead()
+	defer e.Rel.EndRead()
 	var plan CoverPlan
 	if e.UseViews {
 		plan = PlanCover(e.Rel, universe)
