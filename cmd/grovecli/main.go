@@ -15,6 +15,11 @@
 //	grovecli -store /tmp/ny q "[n1,n2] AND NOT [n3,n4]"  # text query language
 //	grovecli -store /tmp/ny q "SUM [n1,n2,n13]"
 //	grovecli -store /tmp/ny advise workload.grq 20   # propose views for a workload
+//	grovecli -store /tmp/ny analyze n1 n2 n13        # EXPLAIN ANALYZE a path query
+//	grovecli -store /tmp/ny metrics "[n1,n2]"        # run statements, dump metrics
+//
+// With -metrics ADDR, grovecli serves /metrics (Prometheus text) and /traces
+// (JSON) on ADDR after the command runs, until interrupted.
 //
 // Mutating commands (addview, addagg, tag) re-save the store before exiting.
 package main
@@ -32,6 +37,7 @@ import (
 func main() {
 	store := flag.String("store", "", "store directory written by groveload or Store.Save (required)")
 	limit := flag.Int("limit", 10, "max records to print for match/agg")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /traces on this address after the command runs, until interrupted (e.g. :9090)")
 	flag.Parse()
 
 	if *store == "" || flag.NArg() == 0 {
@@ -41,6 +47,14 @@ func main() {
 	st, err := grove.LoadStore(*store)
 	if err != nil {
 		fatal(err)
+	}
+	var msrv *grove.MetricsServer
+	if *metricsAddr != "" {
+		// Wire metrics and tracing before the command so its queries show up.
+		st.EnableTracing(0)
+		if msrv, err = st.ServeMetrics(*metricsAddr); err != nil {
+			fatal(err)
+		}
 	}
 
 	args := flag.Args()
@@ -94,6 +108,13 @@ func main() {
 			fatal(fmt.Errorf("explain needs at least 2 node names"))
 		}
 		explain(st, args[1:])
+	case "analyze":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("analyze needs at least 2 node names"))
+		}
+		analyze(st, args[1:])
+	case "metrics":
+		dumpMetrics(st, args[1:], *limit)
 	case "advise":
 		if len(args) != 3 {
 			fatal(fmt.Errorf("advise needs a workload file and a budget k"))
@@ -102,10 +123,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
+
+	if msrv != nil {
+		fmt.Fprintf(os.Stderr, "serving http://%s/metrics and /traces (interrupt to exit)\n", msrv.Addr())
+		select {}
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|advise|views|addview|addagg|tag> [args]")
+	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|analyze|metrics|advise|views|addview|addagg|tag> [args]")
 	flag.PrintDefaults()
 }
 
@@ -245,6 +271,27 @@ func explain(st *grove.Store, nodes []string) {
 		fatal(err)
 	}
 	fmt.Print(ex.String())
+}
+
+func analyze(st *grove.Store, nodes []string) {
+	a, err := st.ExplainAnalyze(grove.PathOf(nodes...).ToGraph())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(a.String())
+}
+
+// dumpMetrics executes any statements given (traced and metered), then dumps
+// the metrics registry in Prometheus text format.
+func dumpMetrics(st *grove.Store, statements []string, limit int) {
+	st.EnableTracing(0)
+	reg := st.Metrics()
+	for _, text := range statements {
+		textQuery(st, text, limit)
+	}
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func textQuery(st *grove.Store, text string, limit int) {

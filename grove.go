@@ -98,6 +98,10 @@ type Store struct {
 	rel *colstore.Relation
 	reg *graph.Registry
 	eng *query.Engine
+
+	// metrics is created lazily by Metrics (observe.go); nil until then, and
+	// the query path pays nothing while it is.
+	metrics *MetricsRegistry
 }
 
 // Option configures Open.
@@ -431,22 +435,11 @@ type QueryResult struct {
 //
 // Keywords are case-insensitive; parentheses group.
 func (s *Store) Query(text string) (*QueryResult, error) {
-	stmt, err := query.Parse(text)
+	res, err := s.eng.ExecuteStatement(text)
 	if err != nil {
 		return nil, err
 	}
-	if stmt.Agg != nil {
-		res, err := s.eng.ExecutePathAggQuery(stmt.Agg)
-		if err != nil {
-			return nil, err
-		}
-		return &QueryResult{Agg: res}, nil
-	}
-	ids, err := s.eng.EvalExpr(stmt.Expr)
-	if err != nil {
-		return nil, err
-	}
-	return &QueryResult{IDs: ids}, nil
+	return &QueryResult{IDs: res.IDs, Agg: res.Agg}, nil
 }
 
 // PathsThrough returns the composite path [Src(g),Src(region)) ⋈

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"grove/internal/obs"
+	"grove/internal/query"
+)
+
+// ExpObs measures the observability layer's overhead on the batch workload:
+// the same sequential run of uniform graph queries with instrumentation off,
+// with the metrics registry attached, and with metrics plus lifecycle
+// tracing. Metrics are pure atomics and should be in the noise; tracing
+// allocates one trace per query and is the number the <5% expectation in
+// EXPERIMENTS.md refers to.
+func ExpObs(sc Scale) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Observability overhead: %d uniform graph queries, NY, sequential",
+			sc.NumQueries),
+		Columns: []string{"Mode", "Total (ms)", "Overhead"},
+	}
+	eng, queries, err := batchBenchQueries(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Each timed run replays the workload several times so a run is long
+	// enough to measure, and the best of several runs is kept — single-digit
+	// millisecond runs are otherwise dominated by scheduler and GC noise.
+	const passes, rounds = 5, 7
+	run := func(e *query.Engine) (time.Duration, error) {
+		// Warm-up pass so page-in and allocator noise doesn't land on any mode.
+		if _, _, err := sequentialGraphWorkload(e, queries); err != nil {
+			return 0, err
+		}
+		best := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			total := time.Duration(0)
+			for j := 0; j < passes; j++ {
+				_, d, err := sequentialGraphWorkload(e, queries)
+				if err != nil {
+					return 0, err
+				}
+				total += d
+			}
+			if best == 0 || total < best {
+				best = total
+			}
+		}
+		return best / passes, nil
+	}
+
+	off, err := run(eng)
+	if err != nil {
+		return nil, err
+	}
+
+	withMetrics := eng.Clone()
+	withMetrics.SetMetrics(obs.NewQueryMetrics(obs.NewRegistry()))
+	metricsDur, err := run(withMetrics)
+	if err != nil {
+		return nil, err
+	}
+
+	withTracing := withMetrics.Clone()
+	withTracing.SetTraces(obs.NewTraceRing(0))
+	tracingDur, err := run(withTracing)
+	if err != nil {
+		return nil, err
+	}
+
+	overhead := func(d time.Duration) string {
+		return fmt.Sprintf("%+.2f%%", (float64(d)/float64(off)-1)*100)
+	}
+	t.AddRow("Instrumentation off", fmtMS(float64(off.Microseconds())/1000), "baseline")
+	t.AddRow("Metrics", fmtMS(float64(metricsDur.Microseconds())/1000), overhead(metricsDur))
+	t.AddRow("Metrics + tracing", fmtMS(float64(tracingDur.Microseconds())/1000), overhead(tracingDur))
+	t.AddNote(fmt.Sprintf("best of %d runs of %d workload passes per mode, after a warm-up pass; tracing records full lifecycle spans into a 128-entry ring", rounds, passes))
+	return t, nil
+}

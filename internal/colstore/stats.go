@@ -57,6 +57,20 @@ func (s Stats) String() string {
 		s.BytesRead, s.PartitionJoins, s.RecordsReturned)
 }
 
+// StatsSink receives every accounting event the tracker records, as it
+// happens. It is the tap observability layers hook to mirror the cost-model
+// counters into externally visible metrics: unlike Snapshot, a sink is
+// monotonic — Reset zeroes the tracker but never rewinds what a sink has
+// already seen. Implementations must be safe for concurrent use (events
+// arrive from every querying goroutine).
+type StatsSink interface {
+	OnBitmapFetch(bytes int64)
+	OnMeasureFetch(bytes int64)
+	OnMeasuresScanned(n int64)
+	OnPartitionJoins(n int64)
+	OnRecordsReturned(n int64)
+}
+
 // Tracker accumulates Stats. A Relation owns one tracker; the query engine
 // resets or snapshots it around query execution. Counters are atomic so that
 // concurrent read-only queries (which account their I/O as a side effect)
@@ -69,7 +83,15 @@ type Tracker struct {
 	bytes       atomic.Int64
 	joins       atomic.Int64
 	records     atomic.Int64
+
+	// sink, when set, mirrors every event. Set it before serving queries
+	// (like Engine.EnableCache, attaching mid-flight is not synchronized).
+	sink StatsSink
 }
+
+// SetSink attaches a sink mirroring every subsequent accounting event
+// (nil detaches). Attach before serving queries.
+func (t *Tracker) SetSink(s StatsSink) { t.sink = s }
 
 // Reset zeroes the counters.
 func (t *Tracker) Reset() {
@@ -96,15 +118,36 @@ func (t *Tracker) Snapshot() Stats {
 func (t *Tracker) onBitmapFetch(bytes int) {
 	t.bitmapCols.Add(1)
 	t.bytes.Add(int64(bytes))
+	if t.sink != nil {
+		t.sink.OnBitmapFetch(int64(bytes))
+	}
 }
 
 func (t *Tracker) onMeasureFetch(bytes int) {
 	t.measureCols.Add(1)
 	t.bytes.Add(int64(bytes))
+	if t.sink != nil {
+		t.sink.OnMeasureFetch(int64(bytes))
+	}
 }
 
-func (t *Tracker) onMeasuresScanned(n int) { t.measures.Add(int64(n)) }
+func (t *Tracker) onMeasuresScanned(n int) {
+	t.measures.Add(int64(n))
+	if t.sink != nil {
+		t.sink.OnMeasuresScanned(int64(n))
+	}
+}
 
-func (t *Tracker) onPartitionJoin(n int) { t.joins.Add(int64(n)) }
+func (t *Tracker) onPartitionJoin(n int) {
+	t.joins.Add(int64(n))
+	if t.sink != nil {
+		t.sink.OnPartitionJoins(int64(n))
+	}
+}
 
-func (t *Tracker) onRecordsReturned(n int) { t.records.Add(int64(n)) }
+func (t *Tracker) onRecordsReturned(n int) {
+	t.records.Add(int64(n))
+	if t.sink != nil {
+		t.sink.OnRecordsReturned(int64(n))
+	}
+}

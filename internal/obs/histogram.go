@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets spans grove's query-latency range: from
+// cache-hit microseconds up to multi-second full-dataset aggregations.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics. Observe is lock-free (atomic adds) and allocation-free, so it
+// sits on the per-query hot path.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	count  atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given upper bounds (nil selects
+// DefaultLatencyBuckets). Bounds are copied and sorted.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~12) and the scan is
+	// branch-predictable, beating a binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each bound
+// (the +Inf bucket equals Count()). Used by the exposition and tests.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}

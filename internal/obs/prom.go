@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per metric
+// family, then one line per series, families in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, family := range r.snapshotMetrics() {
+		head := family[0]
+		if head.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", head.family, head.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", head.family, head.kind.promType())
+		for _, m := range family {
+			writeMetric(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeMetric(w io.Writer, m *metric) {
+	switch m.kind {
+	case kindCounter:
+		writeSample(w, m.family, m.labels, float64(m.counter.Value()))
+	case kindGauge:
+		writeSample(w, m.family, m.labels, float64(m.gauge.Value()))
+	case kindCounterFunc, kindGaugeFunc:
+		writeSample(w, m.family, m.labels, m.fn())
+	case kindCounterVecFunc, kindGaugeVecFunc:
+		vals := m.vecFn()
+		labels := make([]string, 0, len(vals))
+		for l := range vals {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			writeSample(w, m.family, l, vals[l])
+		}
+	case kindHistogram:
+		bounds, cum := m.hist.Buckets()
+		for i, b := range bounds {
+			writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="`+formatFloat(b)+`"`), float64(cum[i]))
+		}
+		writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="+Inf"`), float64(cum[len(cum)-1]))
+		writeSample(w, m.family+"_sum", m.labels, m.hist.Sum())
+		writeSample(w, m.family+"_count", m.labels, float64(m.hist.Count()))
+	}
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is a minimal HTTP server for metrics/trace endpoints, bound to a
+// concrete listener so callers (and tests) can use ":0" and read back the
+// assigned address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving h on addr in a background goroutine.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:39041".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,120 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"grove/internal/bitmap"
+	"grove/internal/graph"
+	"grove/internal/obs"
+)
+
+// StatementResult is the answer of a parsed text-language statement: exactly
+// one of IDs (boolean structural query) or Agg (path aggregation) is set.
+type StatementResult struct {
+	IDs *bitmap.Bitmap
+	Agg *AggResult
+}
+
+// ExecuteStatement parses and executes one statement of the text query
+// language as a single traced unit: the trace covers parsing too (the
+// "parse" phase), and the statement is metered under the "statement" kind
+// rather than as a bare expression or aggregation.
+func (e *Engine) ExecuteStatement(text string) (*StatementResult, error) {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
+	var tr *obs.ActiveTrace
+	if e.traces != nil {
+		tr = obs.StartTrace(obs.KindStatement, text, e.ioNow())
+	}
+	res, err := e.executeStatement(text, tr)
+	if tr != nil {
+		e.traces.Add(tr.Finish(e.ioNow()))
+	}
+	if e.metrics != nil && err == nil {
+		e.metrics.Record(obs.KindStatement, time.Since(start))
+	}
+	return res, err
+}
+
+func (e *Engine) executeStatement(text string, tr *obs.ActiveTrace) (*StatementResult, error) {
+	if tr != nil {
+		tr.Begin(obs.PhaseParse, e.ioNow())
+	}
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Agg != nil {
+		res, err := e.executePathAggQuery(stmt.Agg, tr) // takes the read lock itself
+		if err != nil {
+			return nil, err
+		}
+		return &StatementResult{Agg: res}, nil
+	}
+	e.Rel.BeginRead()
+	ids, err := e.evalExprLocked(stmt.Expr, tr)
+	e.Rel.EndRead()
+	if err != nil {
+		return nil, err
+	}
+	return &StatementResult{IDs: ids}, nil
+}
+
+// ExplainAnalysis merges a query's predicted plan (Explanation) with the
+// lifecycle trace of one real execution: per-phase wall time and the I/O the
+// column store actually performed. Executed single-threaded — as
+// ExplainAnalyze runs it — the observed I/O deltas are exact, so
+// Trace.IO.BitmapColumnsFetched equals Plan.BitmapsFetched.
+type ExplainAnalysis struct {
+	Plan    Explanation
+	Trace   obs.Trace
+	Records int
+}
+
+// String renders the plan followed by the observed per-phase breakdown, in
+// the spirit of SQL EXPLAIN ANALYZE.
+func (a *ExplainAnalysis) String() string {
+	var b strings.Builder
+	b.WriteString(a.Plan.String())
+	fmt.Fprintf(&b, "observed: %v total, %d bitmap fetch(es), %d measure column(s), %d value(s) scanned, %d record(s)\n",
+		a.Trace.Duration(), a.Trace.IO.BitmapColumnsFetched,
+		a.Trace.IO.MeasureColumnsFetched, a.Trace.IO.MeasuresScanned, a.Records)
+	for _, s := range a.Trace.PhaseTotals() {
+		fmt.Fprintf(&b, "  %-12s %12v  bitmaps=%d measures=%d bytes=%d\n",
+			s.Phase, s.Duration(), s.IO.BitmapColumnsFetched,
+			s.IO.MeasureColumnsFetched, s.IO.BytesRead)
+	}
+	return b.String()
+}
+
+// ExplainAnalyze computes a graph query's plan and then executes the query
+// once with tracing forced on, returning plan and observation together. The
+// run bypasses the result cache (a hit would observe zero fetches and say
+// nothing about the plan) and the serving metrics/trace ring, so diagnostics
+// don't distort production counters.
+func (e *Engine) ExplainAnalyze(q *GraphQuery) (*ExplainAnalysis, error) {
+	plan, err := e.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	run := e.Clone()
+	run.cache = nil
+	run.metrics = nil
+	ring := obs.NewTraceRing(1)
+	run.traces = ring
+	res, err := run.ExecuteGraphQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainAnalysis{Plan: plan, Trace: ring.Recent()[0], Records: res.NumRecords()}, nil
+}
+
+// ExplainAnalyzeGraph is a convenience wrapper over ExplainAnalyze for a
+// bare graph.
+func (e *Engine) ExplainAnalyzeGraph(g *graph.Graph) (*ExplainAnalysis, error) {
+	return e.ExplainAnalyze(NewGraphQuery(g))
+}

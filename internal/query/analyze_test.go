@@ -1,0 +1,156 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"grove/internal/colstore"
+	"grove/internal/graph"
+	"grove/internal/obs"
+)
+
+func TestExecuteStatementTracesParsePhase(t *testing.T) {
+	f := newFig2Fixture(t)
+	ring := obs.NewTraceRing(4)
+	f.eng.SetTraces(ring)
+
+	res, err := f.eng.ExecuteStatement("SUM [A,C,E,F]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg == nil || res.IDs != nil {
+		t.Fatalf("statement result = %+v", res)
+	}
+	if len(res.Agg.RecordIDs) != 1 || res.Agg.Values[0][0] != 7 {
+		t.Errorf("SUM along (A,C,E,F) = %+v", res.Agg.Values)
+	}
+	traces := ring.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if tr.Kind != obs.KindStatement || tr.Query != "SUM [A,C,E,F]" {
+		t.Errorf("trace header = %+v", tr)
+	}
+	phases := map[string]bool{}
+	for _, s := range tr.Spans {
+		phases[s.Phase] = true
+	}
+	for _, want := range []string{obs.PhaseParse, obs.PhasePlan, obs.PhaseFetch,
+		obs.PhaseIntersect, obs.PhaseMeasureScan, obs.PhaseAggregate} {
+		if !phases[want] {
+			t.Errorf("statement trace missing phase %q (have %v)", want, phases)
+		}
+	}
+	if tr.Spans[0].Phase != obs.PhaseParse {
+		t.Errorf("first span = %q, want parse", tr.Spans[0].Phase)
+	}
+
+	// A boolean statement goes down the expression path.
+	res, err = f.eng.ExecuteStatement("[A,C] AND NOT [F,G]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IDs == nil || res.IDs.Cardinality() != 1 || !res.IDs.Contains(0) {
+		t.Errorf("boolean statement answer = %+v", res.IDs)
+	}
+	if _, err := f.eng.ExecuteStatement("NOT A VALID ((("); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestExecuteStatementMetrics(t *testing.T) {
+	f := newFig2Fixture(t)
+	m := obs.NewQueryMetrics(obs.NewRegistry())
+	f.eng.SetMetrics(m)
+	if _, err := f.eng.ExecuteStatement("[A,C,E]"); err != nil {
+		t.Fatal(err)
+	}
+	if m.StatementQueries.Value() != 1 || m.StatementLatency.Count() != 1 {
+		t.Errorf("statement metrics = %d queries, %d observations",
+			m.StatementQueries.Value(), m.StatementLatency.Count())
+	}
+	// The statement must not double-count as a bare expression.
+	if m.ExprQueries.Value() != 0 {
+		t.Errorf("expr counter = %d, want 0", m.ExprQueries.Value())
+	}
+}
+
+// TestExplainAnalyzeMatchesPlan is the acceptance criterion: for a
+// view-rewritten query, the observed bitmap-fetch count equals the predicted
+// Explanation.BitmapsFetched exactly, and every phase carries wall time.
+func TestExplainAnalyzeMatchesPlan(t *testing.T) {
+	f := newFig2Fixture(t)
+	e2, _ := f.reg.Lookup(graph.E("A", "C"))
+	e3, _ := f.reg.Lookup(graph.E("C", "E"))
+	if _, err := f.rel.MaterializeView("v23", []colstore.EdgeID{e2, e3}); err != nil {
+		t.Fatal(err)
+	}
+	// A result cache must not distort the analysis: ExplainAnalyze bypasses it.
+	f.eng.EnableCache(NewResultCache(8))
+	q := pathQuery("A", "C", "E", "F")
+	if _, err := f.eng.ExecuteGraphQuery(q); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+
+	a, err := f.eng.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan.Views) != 1 || a.Plan.Views[0] != "v23" {
+		t.Fatalf("expected a view-rewritten plan, got %+v", a.Plan)
+	}
+	if a.Trace.Cached {
+		t.Error("analysis execution hit the cache")
+	}
+	if got, want := a.Trace.IO.BitmapColumnsFetched, int64(a.Plan.BitmapsFetched); got != want {
+		t.Errorf("observed fetches = %d, plan predicts %d", got, want)
+	}
+	if a.Records != 1 {
+		t.Errorf("records = %d", a.Records)
+	}
+	for _, want := range []string{obs.PhasePlan, obs.PhaseFetch, obs.PhaseIntersect} {
+		found := false
+		for _, s := range a.Trace.PhaseTotals() {
+			if s.Phase == want {
+				found = true
+				if s.DurationNanos < 0 {
+					t.Errorf("phase %q has negative duration", want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("analysis missing phase %q", want)
+		}
+	}
+
+	out := a.String()
+	for _, want := range []string{"views: v23", "observed:", "fetch", "intersect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	// Diagnostics must not pollute the serving trace ring or metrics.
+	m := obs.NewQueryMetrics(obs.NewRegistry())
+	ring := obs.NewTraceRing(4)
+	f.eng.SetMetrics(m)
+	f.eng.SetTraces(ring)
+	if _, err := f.eng.ExplainAnalyze(q); err != nil {
+		t.Fatal(err)
+	}
+	if m.GraphQueries.Value() != 0 || ring.Len() != 0 {
+		t.Errorf("ExplainAnalyze leaked into serving metrics: %d queries, %d traces",
+			m.GraphQueries.Value(), ring.Len())
+	}
+}
+
+func TestExplainAnalyzeErrors(t *testing.T) {
+	f := newFig2Fixture(t)
+	if _, err := f.eng.ExplainAnalyze(nil); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := f.eng.ExplainAnalyzeGraph(graph.NewGraph()); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

@@ -80,11 +80,19 @@ func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
 	if n == 0 {
 		return nil
 	}
+	if m := b.eng.metrics; m != nil {
+		m.BatchBatches.Inc()
+		m.BatchQueries.Add(int64(n))
+	}
 	workers := b.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		if m := b.eng.metrics; m != nil {
+			m.BatchWorkersBusy.Add(1)
+			defer m.BatchWorkersBusy.Add(-1)
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(b.eng, i); err != nil {
 				return fmt.Errorf("query %d: %w", i, err)
@@ -100,6 +108,10 @@ func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
 		go func() {
 			defer wg.Done()
 			eng := b.eng.Clone()
+			if eng.metrics != nil {
+				eng.metrics.BatchWorkersBusy.Add(1)
+				defer eng.metrics.BatchWorkersBusy.Add(-1)
+			}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {

@@ -75,7 +75,7 @@ func TestBatchWithSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := cache.Stats()
+	hits := cache.Stats().Hits
 	if hits == 0 {
 		t.Error("shared cache saw no hits on an identical batch rerun")
 	}

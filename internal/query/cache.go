@@ -33,9 +33,10 @@ type cacheShard struct {
 	cap     int
 	version uint64
 	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
-	hits    int64
-	misses  int64
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -127,6 +128,7 @@ func (c *ResultCache) put(version uint64, key string, answer *bitmap.Bitmap) {
 		if oldest := s.lru.Back(); oldest != nil {
 			s.lru.Remove(oldest)
 			delete(s.entries, oldest.Value.(*cacheEntry).key)
+			s.evictions++
 		}
 	}
 	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, answer: answer})
@@ -140,15 +142,26 @@ func (s *cacheShard) reset(version uint64) {
 	s.version = version
 }
 
-// Stats returns cumulative hit/miss counts across all shards.
-func (c *ResultCache) Stats() (hits, misses int64) {
+// CacheStats is a snapshot of the cache's cumulative counters. Hits and
+// misses count lookups; evictions count LRU displacements (version resets
+// drop entries wholesale and are not counted as evictions).
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns cumulative hit/miss/eviction counts across all shards.
+func (c *ResultCache) Stats() CacheStats {
+	var st CacheStats
 	for _, s := range c.shards {
 		s.mu.Lock()
-		hits += s.hits
-		misses += s.misses
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
 		s.mu.Unlock()
 	}
-	return hits, misses
+	return st
 }
 
 // EnableCache attaches a result cache to the engine (nil disables caching).

@@ -33,9 +33,9 @@ func TestResultCacheHitsAndInvalidation(t *testing.T) {
 	if !second.Answer.Equals(first.Answer) {
 		t.Fatal("cached answer differs")
 	}
-	hits, misses := cache.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses", hits, misses)
+	cs := cache.Stats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses", cs.Hits, cs.Misses)
 	}
 
 	// A mutation invalidates: the next execution recomputes and must see
@@ -96,7 +96,7 @@ func TestResultCacheCapacity(t *testing.T) {
 	}
 	// Capacity 2 with 3 distinct queries: at most 2 live entries; re-running
 	// all three yields at least one hit and no wrong answers.
-	hitsBefore, _ := cache.Stats()
+	hitsBefore := cache.Stats().Hits
 	for _, q := range queries {
 		res, err := f.eng.ExecuteGraphQuery(q)
 		if err != nil {
@@ -112,7 +112,7 @@ func TestResultCacheCapacity(t *testing.T) {
 			t.Fatalf("cached answer wrong for %s", q)
 		}
 	}
-	hitsAfter, _ := cache.Stats()
+	hitsAfter := cache.Stats().Hits
 	if hitsAfter <= hitsBefore {
 		t.Error("no cache hits on re-run")
 	}

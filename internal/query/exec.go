@@ -5,11 +5,13 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"grove/internal/bitmap"
 	"grove/internal/colstore"
 	"grove/internal/gpath"
 	"grove/internal/graph"
+	"grove/internal/obs"
 )
 
 // Engine executes graph queries over a master relation. UseViews controls
@@ -27,6 +29,15 @@ type Engine struct {
 	// cache, when set, memoizes structural answers across repeated queries
 	// (invalidated wholesale on any relation mutation).
 	cache *ResultCache
+
+	// metrics, when set, records per-query counters and latency histograms
+	// (allocation-free). traces, when set, records a span-based lifecycle
+	// trace per query into the ring (one allocation per query plus span
+	// appends). Both default to nil: the disabled path costs two nil checks
+	// and nothing else. Set them before serving queries (like EnableCache,
+	// mutating mid-flight is not synchronized).
+	metrics *obs.QueryMetrics
+	traces  *obs.TraceRing
 }
 
 // bmsPool recycles the operand slices of the structural AND phase across
@@ -39,11 +50,40 @@ func NewEngine(rel *colstore.Relation, reg *graph.Registry) *Engine {
 	return &Engine{Rel: rel, Reg: reg, UseViews: true}
 }
 
-// Clone returns an engine sharing rel, registry, view setting and result
-// cache with e, but with its own scratch — safe to use from another
-// goroutine concurrently with e.
+// Clone returns an engine sharing rel, registry, view setting, result cache
+// and observability hooks with e, but with its own scratch — safe to use
+// from another goroutine concurrently with e.
 func (e *Engine) Clone() *Engine {
-	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews, cache: e.cache}
+	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews, cache: e.cache,
+		metrics: e.metrics, traces: e.traces}
+}
+
+// SetMetrics attaches a metrics bundle (nil disables). Attach before
+// serving queries.
+func (e *Engine) SetMetrics(m *obs.QueryMetrics) { e.metrics = m }
+
+// SetTraces attaches a trace ring recording one lifecycle trace per query
+// (nil disables). Attach before serving queries.
+func (e *Engine) SetTraces(t *obs.TraceRing) { e.traces = t }
+
+// Traces returns the attached trace ring (nil when tracing is disabled).
+func (e *Engine) Traces() *obs.TraceRing { return e.traces }
+
+// Cache returns the attached result cache (nil when caching is disabled).
+func (e *Engine) Cache() *ResultCache { return e.cache }
+
+// ioNow converts the relation tracker's cumulative counters into the obs
+// package's I/O shape. Only called on traced paths: six atomic loads.
+func (e *Engine) ioNow() obs.IODelta {
+	s := e.Rel.Tracker().Snapshot()
+	return obs.IODelta{
+		BitmapColumnsFetched:  int64(s.BitmapColumnsFetched),
+		MeasureColumnsFetched: int64(s.MeasureColumnsFetched),
+		MeasuresScanned:       s.MeasuresScanned,
+		BytesRead:             s.BytesRead,
+		PartitionJoins:        s.PartitionJoins,
+		RecordsReturned:       s.RecordsReturned,
+	}
 }
 
 // queryEdgeIDs resolves the structural elements of a query graph to edge
@@ -96,15 +136,31 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty graph query")
 	}
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
+	var tr *obs.ActiveTrace
+	if e.traces != nil {
+		tr = obs.StartTrace(obs.KindGraph, q.String(), e.ioNow())
+	}
 	e.Rel.BeginRead()
-	defer e.Rel.EndRead()
-	return e.executeGraphQueryLocked(q)
+	res, err := e.executeGraphQueryLocked(q, tr)
+	e.Rel.EndRead()
+	if tr != nil {
+		e.traces.Add(tr.Finish(e.ioNow()))
+	}
+	if e.metrics != nil && err == nil {
+		e.metrics.Record(obs.KindGraph, time.Since(start))
+	}
+	return res, err
 }
 
 // executeGraphQueryLocked is ExecuteGraphQuery with the relation read lock
 // already held (BeginRead is not reentrant, so compound executions — path
-// aggregation, boolean expressions — route through this).
-func (e *Engine) executeGraphQueryLocked(q *GraphQuery) (*Result, error) {
+// aggregation, boolean expressions — route through this). tr, when non-nil,
+// receives the plan/fetch/intersect lifecycle spans.
+func (e *Engine) executeGraphQueryLocked(q *GraphQuery, tr *obs.ActiveTrace) (*Result, error) {
 	universe := e.queryEdgeIDs(q.G)
 	// Read under the lock: the version cannot move while we hold it, so the
 	// cache entry written below is tagged with exactly the version whose
@@ -112,11 +168,20 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery) (*Result, error) {
 	version := e.Rel.Version()
 	var key string
 	if e.cache != nil {
+		if tr != nil {
+			tr.Begin(obs.PhaseCache, e.ioNow())
+		}
 		key = cacheKey(universe)
 		if answer := e.cache.get(version, key); answer != nil {
 			e.Rel.AccountRecordsReturned(answer.Cardinality())
+			if tr != nil {
+				tr.SetCached()
+			}
 			return &Result{Query: q, Plan: CoverPlan{}, Answer: answer, eng: e, cached: true}, nil
 		}
+	}
+	if tr != nil {
+		tr.Begin(obs.PhasePlan, e.ioNow())
 	}
 	var plan CoverPlan
 	if e.UseViews {
@@ -125,6 +190,9 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery) (*Result, error) {
 		plan = PlanWithoutViews(universe)
 	}
 
+	if tr != nil {
+		tr.Begin(obs.PhaseFetch, e.ioNow())
+	}
 	scratch := bmsPool.Get().(*[]*bitmap.Bitmap)
 	bms := (*scratch)[:0]
 	for _, name := range plan.Views {
@@ -145,6 +213,9 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery) (*Result, error) {
 	}
 	for _, id := range plan.Edges {
 		bms = append(bms, e.Rel.FetchEdgeBitmap(id))
+	}
+	if tr != nil {
+		tr.Begin(obs.PhaseIntersect, e.ioNow())
 	}
 	// The conjunction intersects into one fresh destination the caller (and
 	// the cache) owns; the fetched column bitmaps are never mutated.
@@ -216,15 +287,30 @@ func (r *Result) FetchMeasures() int64 {
 // returns the combined answer set. The whole expression runs under one read
 // lock, so all leaves see the same relation version.
 func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
+	var tr *obs.ActiveTrace
+	if e.traces != nil {
+		tr = obs.StartTrace(obs.KindExpr, expr.String(), e.ioNow())
+	}
 	e.Rel.BeginRead()
-	defer e.Rel.EndRead()
-	return e.evalExprLocked(expr)
+	b, err := e.evalExprLocked(expr, tr)
+	e.Rel.EndRead()
+	if tr != nil {
+		e.traces.Add(tr.Finish(e.ioNow()))
+	}
+	if e.metrics != nil && err == nil {
+		e.metrics.Record(obs.KindExpr, time.Since(start))
+	}
+	return b, err
 }
 
-func (e *Engine) evalExprLocked(expr Expr) (*bitmap.Bitmap, error) {
+func (e *Engine) evalExprLocked(expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap, error) {
 	switch x := expr.(type) {
 	case Leaf:
-		res, err := e.executeGraphQueryLocked(x.Q)
+		res, err := e.executeGraphQueryLocked(x.Q, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -233,14 +319,17 @@ func (e *Engine) evalExprLocked(expr Expr) (*bitmap.Bitmap, error) {
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: AND with no operands")
 		}
-		acc, err := e.evalExprLocked(x.Operands[0])
+		acc, err := e.evalExprLocked(x.Operands[0], tr)
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.evalExprLocked(op)
+			b, err := e.evalExprLocked(op, tr)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.Begin(obs.PhaseIntersect, e.ioNow())
 			}
 			acc = acc.And(b)
 		}
@@ -249,26 +338,32 @@ func (e *Engine) evalExprLocked(expr Expr) (*bitmap.Bitmap, error) {
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: OR with no operands")
 		}
-		acc, err := e.evalExprLocked(x.Operands[0])
+		acc, err := e.evalExprLocked(x.Operands[0], tr)
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.evalExprLocked(op)
+			b, err := e.evalExprLocked(op, tr)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.Begin(obs.PhaseIntersect, e.ioNow())
 			}
 			acc = acc.Or(b)
 		}
 		return acc, nil
 	case Diff:
-		a, err := e.evalExprLocked(x.A)
+		a, err := e.evalExprLocked(x.A, tr)
 		if err != nil {
 			return nil, err
 		}
-		b, err := e.evalExprLocked(x.B)
+		b, err := e.evalExprLocked(x.B, tr)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Begin(obs.PhaseIntersect, e.ioNow())
 		}
 		return a.AndNot(b), nil
 	default:
@@ -377,6 +472,27 @@ func coverPath(rel *colstore.Relation, pathEdges []colstore.EdgeID, funcName, me
 // graph query, then per-record aggregation along every maximal path, folding
 // stored aggregate-view values where the path is covered by views.
 func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
+	var tr *obs.ActiveTrace
+	if e.traces != nil {
+		tr = obs.StartTrace(obs.KindPathAgg, q.String(), e.ioNow())
+	}
+	res, err := e.executePathAggQuery(q, tr)
+	if tr != nil {
+		e.traces.Add(tr.Finish(e.ioNow()))
+	}
+	if e.metrics != nil && err == nil {
+		e.metrics.Record(obs.KindPathAgg, time.Since(start))
+	}
+	return res, err
+}
+
+// executePathAggQuery is the body of ExecutePathAggQuery, with lifecycle
+// spans recorded on tr when tracing is enabled.
+func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*AggResult, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty path aggregation query")
 	}
@@ -387,12 +503,15 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 	// the aggregates are computed over exactly the records the filter saw.
 	e.Rel.BeginRead()
 	defer e.Rel.EndRead()
-	structural, err := e.executeGraphQueryLocked(&GraphQuery{G: q.G})
+	structural, err := e.executeGraphQueryLocked(&GraphQuery{G: q.G}, tr)
 	if err != nil {
 		return nil, err
 	}
 	paths := q.Paths
 	if len(paths) == 0 {
+		if tr != nil {
+			tr.Begin(obs.PhasePlan, e.ioNow())
+		}
 		paths, err = gpath.MaximalPaths(q.G)
 		if err != nil {
 			return nil, err
@@ -431,6 +550,9 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 
 	scanned := 0
 	for _, p := range paths {
+		if tr != nil {
+			tr.Begin(obs.PhasePlan, e.ioNow()) // cover the path with agg views
+		}
 		ids := make([]colstore.EdgeID, 0, p.Len())
 		for _, k := range p.Edges() {
 			id, ok := e.Reg.Lookup(k)
@@ -441,6 +563,9 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 		}
 		segs := coverPath(e.Rel, ids, q.Agg.Name, q.Measure, e.UseViews)
 		viewSegs, rawSegs := 0, 0
+		if tr != nil {
+			tr.Begin(obs.PhaseMeasureScan, e.ioNow())
+		}
 
 		// Resolve the columns each segment reads and batch-read them
 		// column-at-a-time over the answer set.
@@ -480,6 +605,9 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 			}
 		}
 
+		if tr != nil {
+			tr.Begin(obs.PhaseAggregate, e.ioNow())
+		}
 		vals := make([]float64, len(res.RecordIDs))
 		for i := range res.RecordIDs {
 			acc := q.Agg.Identity

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"grove/internal/gpath"
 	"grove/internal/graph"
@@ -20,6 +21,11 @@ func NewPathAggQueryAlong(p gpath.Path, agg AggFunc, measure string) *PathAggQue
 // elements.
 type GraphQuery struct {
 	G *graph.Graph
+
+	// str caches the rendered query text. The query graph is immutable after
+	// construction, so the first render wins; tracing reads it per execution
+	// and must not re-render a 16-edge query every time.
+	str atomic.Pointer[string]
 }
 
 // NewGraphQuery wraps a query graph.
@@ -39,12 +45,17 @@ func (q *GraphQuery) MaximalPaths() ([]gpath.Path, error) {
 }
 
 func (q *GraphQuery) String() string {
+	if s := q.str.Load(); s != nil {
+		return *s
+	}
 	elems := q.G.Elements()
 	parts := make([]string, len(elems))
 	for i, e := range elems {
 		parts[i] = e.String()
 	}
-	return "Gq{" + strings.Join(parts, " ") + "}"
+	s := "Gq{" + strings.Join(parts, " ") + "}"
+	q.str.Store(&s)
+	return s
 }
 
 // PathAggQuery is a path aggregation query F_Gq (§3.4): it retrieves the
@@ -60,6 +71,9 @@ type PathAggQuery struct {
 	// maximal paths of G) with explicit — possibly open-ended — paths, e.g.
 	// (D,E,G) to exclude endpoint node measures (§3.3).
 	Paths []gpath.Path
+
+	// str caches the rendered query text (see GraphQuery.str).
+	str atomic.Pointer[string]
 }
 
 // NewPathAggQuery builds a path aggregation query over the default measure.
@@ -73,10 +87,17 @@ func NewPathAggQueryOn(g *graph.Graph, agg AggFunc, measure string) *PathAggQuer
 }
 
 func (q *PathAggQuery) String() string {
-	if q.Measure != "" {
-		return fmt.Sprintf("%s[%s]_%s", q.Agg.Name, q.Measure, (&GraphQuery{G: q.G}).String())
+	if s := q.str.Load(); s != nil {
+		return *s
 	}
-	return fmt.Sprintf("%s_%s", q.Agg.Name, (&GraphQuery{G: q.G}).String())
+	var s string
+	if q.Measure != "" {
+		s = fmt.Sprintf("%s[%s]_%s", q.Agg.Name, q.Measure, (&GraphQuery{G: q.G}).String())
+	} else {
+		s = fmt.Sprintf("%s_%s", q.Agg.Name, (&GraphQuery{G: q.G}).String())
+	}
+	q.str.Store(&s)
+	return s
 }
 
 // Expr is a boolean combination of graph queries (§3.2):

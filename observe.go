@@ -1,0 +1,199 @@
+package grove
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"grove/internal/obs"
+	"grove/internal/query"
+)
+
+// Observability re-exports. The obs package is stdlib-only; these aliases
+// keep the public API a single import.
+type (
+	// MetricsRegistry holds named counters, gauges and latency histograms and
+	// renders them in Prometheus text format (version 0.0.4).
+	MetricsRegistry = obs.Registry
+	// MetricsServer is the HTTP server started by ServeMetrics.
+	MetricsServer = obs.Server
+	// Trace is the recorded lifecycle of one query: per-phase spans with wall
+	// time and column-store I/O deltas.
+	Trace = obs.Trace
+	// TraceSpan is one timed phase of a trace.
+	TraceSpan = obs.Span
+	// CacheStats is the result cache's cumulative hit/miss/eviction counts.
+	CacheStats = query.CacheStats
+	// ExplainAnalysis pairs a query's predicted plan with the observed
+	// per-phase timings and I/O of one real execution.
+	ExplainAnalysis = query.ExplainAnalysis
+)
+
+// Store-level metric families (engine families live in internal/obs).
+const (
+	MetricIOBitmapFetches   = "grove_io_bitmap_fetches_total"
+	MetricIOMeasureFetches  = "grove_io_measure_fetches_total"
+	MetricIOMeasuresScanned = "grove_io_measures_scanned_total"
+	MetricIOBytesRead       = "grove_io_bytes_read_total"
+	MetricIOPartitionJoins  = "grove_io_partition_joins_total"
+	MetricIORecordsReturned = "grove_io_records_returned_total"
+
+	MetricCacheHits      = "grove_cache_hits_total"
+	MetricCacheMisses    = "grove_cache_misses_total"
+	MetricCacheEvictions = "grove_cache_evictions_total"
+
+	MetricViewUses = "grove_view_uses_total"
+
+	MetricStoreRecords        = "grove_store_records"
+	MetricStoreDeleted        = "grove_store_deleted_records"
+	MetricStoreEdges          = "grove_store_distinct_edges"
+	MetricStoreSizeBytes      = "grove_store_size_bytes"
+	MetricStoreGraphViews     = "grove_store_graph_views"
+	MetricStoreAggViews       = "grove_store_aggregate_views"
+	MetricStorePartitions     = "grove_store_partitions"
+	MetricTracesRecordedTotal = "grove_traces_recorded_total"
+)
+
+// ioSink mirrors the column store's accounting events into registry
+// counters. Unlike IOStatsSnapshot, these are monotonic: ResetIOStats zeroes
+// the experiment counters but never rewinds the exported metrics.
+type ioSink struct {
+	bitmapFetches   *obs.Counter
+	measureFetches  *obs.Counter
+	measuresScanned *obs.Counter
+	bytesRead       *obs.Counter
+	partitionJoins  *obs.Counter
+	recordsReturned *obs.Counter
+}
+
+func (k *ioSink) OnBitmapFetch(bytes int64) {
+	k.bitmapFetches.Inc()
+	k.bytesRead.Add(bytes)
+}
+
+func (k *ioSink) OnMeasureFetch(bytes int64) {
+	k.measureFetches.Inc()
+	k.bytesRead.Add(bytes)
+}
+
+func (k *ioSink) OnMeasuresScanned(n int64) { k.measuresScanned.Add(n) }
+func (k *ioSink) OnPartitionJoins(n int64)  { k.partitionJoins.Add(n) }
+func (k *ioSink) OnRecordsReturned(n int64) { k.recordsReturned.Add(n) }
+
+// Metrics returns the store's metrics registry, creating and wiring it on
+// first call: engine query counters and latency histograms, the column
+// store's I/O tap, cache and view-usage readers, and store-size gauges.
+// Recording is allocation-free; a store that never calls Metrics pays
+// nothing. Like EnableResultCache, first call it before serving queries.
+func (s *Store) Metrics() *MetricsRegistry {
+	if s.metrics != nil {
+		return s.metrics
+	}
+	r := obs.NewRegistry()
+	s.metrics = r
+	s.eng.SetMetrics(obs.NewQueryMetrics(r))
+
+	s.rel.Tracker().SetSink(&ioSink{
+		bitmapFetches:   r.Counter(MetricIOBitmapFetches, "Bitmap columns fetched (the paper's structural cost unit)."),
+		measureFetches:  r.Counter(MetricIOMeasureFetches, "Measure columns fetched."),
+		measuresScanned: r.Counter(MetricIOMeasuresScanned, "Individual measure values materialized."),
+		bytesRead:       r.Counter(MetricIOBytesRead, "Physical payload bytes touched."),
+		partitionJoins:  r.Counter(MetricIOPartitionJoins, "Record-id joins across vertical partitions."),
+		recordsReturned: r.Counter(MetricIORecordsReturned, "Graph records in query answers."),
+	})
+
+	r.CounterFunc(MetricCacheHits, "Result cache hits.",
+		func() float64 { return float64(s.CacheStats().Hits) })
+	r.CounterFunc(MetricCacheMisses, "Result cache misses.",
+		func() float64 { return float64(s.CacheStats().Misses) })
+	r.CounterFunc(MetricCacheEvictions, "Result cache LRU evictions.",
+		func() float64 { return float64(s.CacheStats().Evictions) })
+
+	r.CounterVecFunc(MetricViewUses, "Times each materialized view answered part of a query.",
+		func() map[string]float64 {
+			usage := s.ViewUsage()
+			out := make(map[string]float64, len(usage))
+			for name, n := range usage {
+				out[obs.Labels("view", name)] = float64(n)
+			}
+			return out
+		})
+
+	r.GaugeFunc(MetricStoreRecords, "Stored graph records.",
+		func() float64 { return float64(s.rel.NumRecords()) })
+	r.GaugeFunc(MetricStoreDeleted, "Soft-deleted records.",
+		func() float64 { return float64(s.rel.NumDeleted()) })
+	r.GaugeFunc(MetricStoreEdges, "Distinct structural elements registered.",
+		func() float64 { return float64(s.reg.Len()) })
+	r.GaugeFunc(MetricStoreSizeBytes, "In-memory payload size (base columns + views).",
+		func() float64 { return float64(s.rel.SizeBytes()) })
+	r.GaugeFunc(MetricStoreGraphViews, "Materialized graph views.",
+		func() float64 { return float64(len(s.rel.Views())) })
+	r.GaugeFunc(MetricStoreAggViews, "Materialized aggregate views.",
+		func() float64 { return float64(len(s.rel.AggViews())) })
+	r.GaugeFunc(MetricStorePartitions, "Vertical partitions of the master relation.",
+		func() float64 { return float64(s.rel.NumPartitions()) })
+	r.CounterFunc(MetricTracesRecordedTotal, "Query traces recorded (including ones evicted from the ring).",
+		func() float64 { return float64(s.eng.Traces().Total()) })
+	return s.metrics
+}
+
+// EnableTracing attaches a ring buffer recording one lifecycle trace per
+// query (capacity ≤ 0 selects a default of 128). Tracing costs one
+// allocation per query plus one per phase span, which is why it is opt-in;
+// with tracing off the query path pays a single nil check.
+func (s *Store) EnableTracing(capacity int) {
+	s.eng.SetTraces(obs.NewTraceRing(capacity))
+}
+
+// DisableTracing detaches the trace ring.
+func (s *Store) DisableTracing() { s.eng.SetTraces(nil) }
+
+// RecentTraces returns the recorded traces, newest first (nil when tracing
+// was never enabled). Traces marshal to JSON.
+func (s *Store) RecentTraces() []Trace { return s.eng.Traces().Recent() }
+
+// CacheStats returns the result cache's cumulative counters (zero when no
+// cache is attached).
+func (s *Store) CacheStats() CacheStats {
+	if c := s.eng.Cache(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
+
+// ViewUsage returns, per materialized view (graph and aggregate), how many
+// times it answered part of a query.
+func (s *Store) ViewUsage() map[string]int64 { return s.rel.ViewUsage() }
+
+// ServeMetrics starts an HTTP server on addr (use ":0" for an ephemeral
+// port; read it back with Addr) exposing:
+//
+//	/metrics  the registry in Prometheus text format
+//	/traces   the recent query traces as JSON, newest first
+//
+// The registry is created on first call (see Metrics). Close the returned
+// server to stop it.
+func (s *Store) ServeMetrics(addr string) (*MetricsServer, error) {
+	reg := s.Metrics()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := s.RecentTraces()
+		if traces == nil {
+			traces = []Trace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	})
+	return obs.Serve(addr, mux)
+}
+
+// ExplainAnalyze computes a graph query's plan and executes it once with
+// tracing forced on, returning predicted cost and observed per-phase wall
+// time and I/O together. The run bypasses the result cache, so the observed
+// bitmap-fetch count equals the plan's BitmapsFetched.
+func (s *Store) ExplainAnalyze(g *Graph) (*ExplainAnalysis, error) {
+	return s.eng.ExplainAnalyzeGraph(g)
+}

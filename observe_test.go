@@ -1,0 +1,223 @@
+package grove
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestServeMetricsEndpoint is the acceptance check for the /metrics surface:
+// the endpoint serves parseable Prometheus text including the query latency
+// histogram and the cache hit/miss counters.
+func TestServeMetricsEndpoint(t *testing.T) {
+	st := buildSCMStore(t)
+	st.EnableResultCache(true, 8)
+	st.EnableTracing(0)
+	st.Metrics()
+
+	// One repeated query (a hit on the rerun) and one aggregation.
+	for i := 0; i < 2; i++ {
+		if _, err := st.MatchPath("A", "D", "E"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.AggregatePath(Sum, "A", "D", "E", "G", "I"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := st.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	out := string(body)
+
+	for _, want := range []string{
+		`grove_queries_total{kind="graph"} 2`,
+		`grove_queries_total{kind="pathagg"} 1`,
+		`grove_query_duration_seconds_bucket{kind="graph",le="+Inf"} 2`,
+		`grove_query_duration_seconds_count{kind="graph"} 2`,
+		"grove_cache_hits_total 1",
+		"grove_cache_misses_total 2", // first run + the aggregation's structural filter
+		"grove_cache_evictions_total 0",
+		"grove_io_bitmap_fetches_total",
+		"grove_store_records 3",
+		"grove_traces_recorded_total 3",
+		"# TYPE grove_query_duration_seconds histogram",
+		"# TYPE grove_cache_hits_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line must parse as `name value`.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+	}
+
+	// /traces serves the ring as JSON, newest first.
+	resp, err = http.Get("http://" + srv.Addr() + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []Trace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if traces[0].Kind != "pathagg" || traces[1].Kind != "graph" {
+		t.Errorf("trace order = %s, %s, %s", traces[0].Kind, traces[1].Kind, traces[2].Kind)
+	}
+	if !traces[0].Cached && traces[1].Cached == traces[2].Cached {
+		t.Errorf("exactly one graph trace should be cached: %+v", traces)
+	}
+}
+
+// TestExplainAnalyzeThroughStore is the EXPLAIN ANALYZE acceptance criterion
+// at the public API: a view-rewritten query's observed bitmap-fetch count
+// equals the plan's BitmapsFetched, with per-phase wall time reported.
+func TestExplainAnalyzeThroughStore(t *testing.T) {
+	st := buildSCMStore(t)
+	if err := st.MaterializeView("vADE", PathOf("A", "D", "E").ToGraph()); err != nil {
+		t.Fatal(err)
+	}
+	g := PathOf("A", "D", "E", "G").ToGraph()
+	a, err := st.ExplainAnalyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan.Views) != 1 || a.Plan.Views[0] != "vADE" {
+		t.Fatalf("plan = %+v", a.Plan)
+	}
+	if got, want := a.Trace.IO.BitmapColumnsFetched, int64(a.Plan.BitmapsFetched); got != want {
+		t.Errorf("observed fetches = %d, plan predicts %d", got, want)
+	}
+	if a.Records != 2 {
+		t.Errorf("records = %d", a.Records)
+	}
+	if !strings.Contains(a.String(), "observed:") {
+		t.Errorf("rendering missing observation:\n%s", a.String())
+	}
+}
+
+func TestCacheStatsAndEvictionsThroughStore(t *testing.T) {
+	st := buildSCMStore(t)
+	if (st.CacheStats() != CacheStats{}) {
+		t.Errorf("no-cache stats = %+v", st.CacheStats())
+	}
+	// Capacity 1 degrades to one entry per shard; querying many distinct
+	// two-edge paths that collide in a shard forces LRU evictions.
+	st.EnableResultCache(true, 1)
+	paths := [][]string{
+		{"A", "D", "E"}, {"D", "E", "G"}, {"E", "G", "I"}, {"A", "B", "F"},
+		{"B", "F", "J"}, {"F", "J", "K"}, {"C", "H", "K"}, {"E", "G", "K"},
+	}
+	for round := 0; round < 2; round++ {
+		for _, p := range paths {
+			if _, err := st.MatchPath(p...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cs := st.CacheStats()
+	if cs.Misses == 0 {
+		t.Error("no misses recorded")
+	}
+	if cs.Evictions == 0 {
+		t.Errorf("no evictions recorded at capacity 1: %+v", cs)
+	}
+	if cs.Hits+cs.Misses != int64(2*len(paths)) {
+		t.Errorf("hits+misses = %d, want %d", cs.Hits+cs.Misses, 2*len(paths))
+	}
+}
+
+func TestViewUsageThroughStore(t *testing.T) {
+	st := buildSCMStore(t)
+	if err := st.MaterializeView("vADE", PathOf("A", "D", "E").ToGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.ViewUsage()); n != 1 {
+		t.Fatalf("usage entries = %d", n)
+	}
+	if st.ViewUsage()["vADE"] != 0 {
+		t.Errorf("unused view has uses = %d", st.ViewUsage()["vADE"])
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.MatchPath("A", "D", "E", "G"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.ViewUsage()["vADE"]; got != 3 {
+		t.Errorf("view uses = %d, want 3", got)
+	}
+}
+
+func TestStoreQueryIsTracedAsStatement(t *testing.T) {
+	st := buildSCMStore(t)
+	st.EnableTracing(2)
+	if _, err := st.Query("[A,D] AND NOT [C,H]"); err != nil {
+		t.Fatal(err)
+	}
+	traces := st.RecentTraces()
+	if len(traces) != 1 || traces[0].Kind != "statement" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	var phases []string
+	for _, s := range traces[0].Spans {
+		phases = append(phases, s.Phase)
+	}
+	if phases[0] != "parse" {
+		t.Errorf("first phase = %v", phases)
+	}
+	st.DisableTracing()
+	if st.RecentTraces() != nil {
+		t.Error("traces survive disabling")
+	}
+}
+
+// ExampleStore_ExplainAnalyze shows the EXPLAIN ANALYZE surface end to end.
+func ExampleStore_ExplainAnalyze() {
+	st := Open()
+	rec := NewRecord()
+	rec.SetEdge("A", "D", 2)
+	rec.SetEdge("D", "E", 2)
+	st.Add(rec)
+	a, _ := st.ExplainAnalyze(PathOf("A", "D", "E").ToGraph())
+	fmt.Println("bitmaps fetched:", a.Trace.IO.BitmapColumnsFetched)
+	fmt.Println("records:", a.Records)
+	// Output:
+	// bitmaps fetched: 2
+	// records: 1
+}

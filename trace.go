@@ -129,7 +129,20 @@ func (s *Store) ImportTraces(r io.Reader) (int, error) {
 func (s *Store) ExportTraces(w io.Writer) (int, error) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	tagKeys := s.rel.TagKeys()
+	// Fetch every tag bitmap once up front instead of once per record: the
+	// per-record membership test is then a bitmap Contains, turning
+	// O(records × tags) column fetches into O(tags).
+	type tagBitmap struct {
+		key, value string
+		bits       *Bitmap
+	}
+	var tags []tagBitmap
+	for _, key := range s.rel.TagKeys() {
+		for _, value := range s.rel.TagValues(key) {
+			tags = append(tags, tagBitmap{key: key, value: value,
+				bits: s.rel.FetchTagBitmap(key, value)})
+		}
+	}
 	for id := uint32(0); int(id) < s.NumRecords(); id++ {
 		rec, err := s.GetRecord(id)
 		if err != nil {
@@ -163,14 +176,12 @@ func (s *Store) ExportTraces(w io.Writer) (int, error) {
 				tr.Edges = append(tr.Edges, te)
 			}
 		}
-		for _, key := range tagKeys {
-			for _, value := range s.rel.TagValues(key) {
-				if s.rel.FetchTagBitmap(key, value).Contains(id) {
-					if tr.Tags == nil {
-						tr.Tags = map[string]string{}
-					}
-					tr.Tags[key] = value
+		for _, t := range tags {
+			if t.bits.Contains(id) {
+				if tr.Tags == nil {
+					tr.Tags = map[string]string{}
 				}
+				tr.Tags[t.key] = t.value
 			}
 		}
 		if err := enc.Encode(tr); err != nil {
