@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race lint fuzz-smoke bench check
 
 build:
 	$(GO) build ./...
@@ -8,19 +8,39 @@ build:
 test: build
 	$(GO) test ./...
 
+# Project-specific static analysis (internal/lint via cmd/grovevet): the
+# colstore lock protocol, dropped errors, metric naming, the stdlib-only
+# dependency policy, and sync/atomic hygiene. Exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/grovevet
+
 # Race-detector gate for the concurrent read path: vet everything, then run
 # the packages that share state across goroutines (engine scratch pool,
-# sharded result cache, relation RWMutex, registry) plus the root facade.
+# sharded result cache, relation RWMutex, registry, metrics endpoint, view
+# advisor, graphdb facade) plus the root facade.
 race:
 	$(GO) vet ./...
-	$(GO) test -race . ./internal/query/... ./internal/bitmap/... ./internal/colstore/...
+	$(GO) test -race . ./internal/query/... ./internal/bitmap/... \
+		./internal/colstore/... ./internal/obs/... ./internal/view/... \
+		./internal/graphdb/...
+
+# Short fuzz pass over every decoder that consumes untrusted bytes: the
+# bitmap wire format, the query parser, and the colstore on-disk format.
+fuzz-smoke:
+	$(GO) test ./internal/bitmap/ -fuzz FuzzReadFrom -fuzztime 3s
+	$(GO) test ./internal/query/ -fuzz FuzzParse -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzMeasureColumnRoundTrip -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzReadMeasureColumn -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzLoadCorrupt -fuzztime 3s
 
 bench:
 	$(GO) test -run xxx -bench . ./...
 
-# The full gate CI runs: vet, build, tests, then the race-detector pass.
+# The full gate CI runs: vet, lint, build, tests, then the race-detector
+# pass (which re-vets; harmless and keeps `make race` self-contained).
 check:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) race

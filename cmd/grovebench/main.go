@@ -83,10 +83,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		var werr error
 		if *csv {
-			tab.CSV(os.Stdout)
+			werr = tab.CSV(os.Stdout)
 		} else {
-			tab.Print(os.Stdout)
+			werr = tab.Print(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing output: %v\n", e.ID, werr)
+			os.Exit(1)
 		}
 	}
 }

@@ -262,7 +262,9 @@ func advise(st *grove.Store, workloadFile, kStr string) {
 	if err != nil {
 		fatal(err)
 	}
-	st.RenderAdvice(os.Stdout, rep)
+	if err := st.RenderAdvice(os.Stdout, rep); err != nil {
+		fatal(err)
+	}
 }
 
 func explain(st *grove.Store, nodes []string) {

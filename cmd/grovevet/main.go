@@ -1,0 +1,53 @@
+// Command grovevet runs grove's project-specific static-analysis suite
+// (internal/lint) over the module and prints file:line:column diagnostics.
+// It exits non-zero when there are findings, so `make lint` and CI can gate
+// on it. The suite is stdlib-only — no compiled artifacts, no x/tools — so
+// it runs anywhere the source tree does.
+//
+// Usage:
+//
+//	grovevet [-C dir] [-v]
+//
+// -C selects the module directory (default "."); -v lists the analyzers and
+// loaded packages before the findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"grove/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to analyze")
+	verbose := flag.Bool("v", false, "list analyzers and packages before findings")
+	flag.Parse()
+
+	m, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grovevet:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.Analyzers()
+	if *verbose {
+		fmt.Printf("grovevet: module %s (%d packages)\n", m.Path, len(m.Pkgs))
+		for _, a := range analyzers {
+			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	diags := lint.Run(m, analyzers, lint.DefaultFilter(m))
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(m.Dir, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grovevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

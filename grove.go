@@ -523,8 +523,8 @@ func (s *Store) AdviseGraphViews(workload []*Graph, k int, opts AdvisorOptions) 
 
 // RenderAdvice writes an AdvisorReport with edge ids resolved back to their
 // element names.
-func (s *Store) RenderAdvice(w io.Writer, rep AdvisorReport) {
-	rep.Render(w, func(es view.EdgeSet) string {
+func (s *Store) RenderAdvice(w io.Writer, rep AdvisorReport) error {
+	return rep.Render(w, func(es view.EdgeSet) string {
 		parts := make([]string, 0, len(es))
 		for _, id := range es {
 			if k, ok := s.reg.Key(id); ok {

@@ -32,8 +32,9 @@ func (t *Table) AddNote(format string, args ...any) {
 }
 
 // Print renders the table with aligned columns.
-func (t *Table) Print(w io.Writer) {
-	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+func (t *Table) Print(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n== %s ==\n", t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -54,7 +55,7 @@ func (t *Table) Print(w io.Writer) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		fmt.Fprintln(&b, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Columns)
 	sep := make([]string, len(t.Columns))
@@ -66,16 +67,21 @@ func (t *Table) Print(w io.Writer) {
 		line(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		fmt.Fprintf(&b, "note: %s\n", n)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // CSV renders the table as comma-separated values.
-func (t *Table) CSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintln(&b, strings.Join(t.Columns, ","))
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		fmt.Fprintln(&b, strings.Join(row, ","))
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 func pad(s string, w int) string {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // Binary layout (little-endian):
@@ -144,10 +145,17 @@ func readContainer(r io.Reader) (uint16, container, error) {
 			return 0, nil, err
 		}
 		c := newBitsetContainer()
+		card := 0
 		for i := range c.words {
 			c.words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+			card += bits.OnesCount64(c.words[i])
 		}
-		c.card = int(n)
+		// Recount rather than trust the header: a corrupt cardinality would
+		// silently break every population-count consumer downstream.
+		if int(n) != card {
+			return 0, nil, fmt.Errorf("bitmap: bitset container cardinality %d does not match payload (%d bits set)", n, card)
+		}
+		c.card = card
 		return key, c, nil
 	case kindRun:
 		if n > 1<<15 {
@@ -158,11 +166,20 @@ func readContainer(r io.Reader) (uint16, container, error) {
 			return 0, nil, err
 		}
 		runs := make([]interval16, n)
+		prevEnd := -1
 		for i := range runs {
 			runs[i] = interval16{
 				start:  binary.LittleEndian.Uint16(buf[4*i:]),
 				length: binary.LittleEndian.Uint16(buf[4*i+2:]),
 			}
+			start, end := int(runs[i].start), int(runs[i].start)+int(runs[i].length)
+			if end > 0xFFFF {
+				return 0, nil, fmt.Errorf("bitmap: run [%d,%d] exceeds the container's value space", start, end)
+			}
+			if start <= prevEnd {
+				return 0, nil, fmt.Errorf("bitmap: runs out of order or overlapping at [%d,%d]", start, end)
+			}
+			prevEnd = end
 		}
 		return key, &runContainer{runs: runs}, nil
 	default:

@@ -325,18 +325,27 @@ func readMeasureColumn(rd io.Reader) (*MeasureColumn, error) {
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if int(n) != m.present.Cardinality() {
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n != m.present.Cardinality() {
 		return nil, fmt.Errorf("colstore: measure count %d does not match presence %d",
 			n, m.present.Cardinality())
 	}
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(rd, buf); err != nil {
-		return nil, err
-	}
-	m.values = make([]float64, n)
-	for i := range m.values {
-		m.values[i] = floatFromBits(binary.LittleEndian.Uint64(buf[8*i:]))
+	// Read the values in bounded chunks: the count is attacker-controlled
+	// input (run-compressed presence bitmaps can claim a huge cardinality
+	// from a few bytes), so allocation must track bytes actually read
+	// rather than the header's claim.
+	const chunk = 1 << 16
+	buf := make([]byte, 8*min(n, chunk))
+	m.values = make([]float64, 0, min(n, chunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunk)
+		if _, err := io.ReadFull(rd, buf[:8*c]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			m.values = append(m.values, floatFromBits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+		remaining -= c
 	}
 	return m, m.validate()
 }

@@ -141,7 +141,7 @@ func (r *Record) Clone() *Record {
 	}
 	for name, m := range r.named {
 		for k, v := range m {
-			_ = out.SetElementNamed(k, name, v) // finite by construction
+			_ = out.SetElementNamed(k, name, v) //grovevet:ignore droppederr v passed SetElementNamed's finiteness check when it entered r
 		}
 	}
 	return out
@@ -197,13 +197,13 @@ func FlattenToDAG(r *Record) *Record {
 	for _, k := range r.Elements() {
 		if k.IsNode() {
 			if m := r.Measure(k); m.Valid {
-				_ = out.SetElement(k, m.Value) // finite by construction
+				_ = out.SetElement(k, m.Value) //grovevet:ignore droppederr measures already stored in r are finite
 			} else {
 				out.AddBareElement(k)
 			}
 			for _, name := range r.MeasureNames() {
 				if m := r.MeasureNamed(k, name); m.Valid {
-					_ = out.SetElementNamed(k, name, m.Value)
+					_ = out.SetElementNamed(k, name, m.Value) //grovevet:ignore droppederr measures already stored in r are finite
 				}
 			}
 		}
@@ -222,13 +222,13 @@ func FlattenToDAG(r *Record) *Record {
 	copyEdge := func(from, origFrom, to, origTo string) {
 		k := E(origFrom, origTo)
 		if m := r.Measure(k); m.Valid {
-			_ = out.SetEdge(from, to, m.Value)
+			_ = out.SetEdge(from, to, m.Value) //grovevet:ignore droppederr measures already stored in r are finite
 		} else {
 			out.AddBareElement(E(from, to))
 		}
 		for _, name := range r.MeasureNames() {
 			if m := r.MeasureNamed(k, name); m.Valid {
-				_ = out.SetElementNamed(E(from, to), name, m.Value)
+				_ = out.SetElementNamed(E(from, to), name, m.Value) //grovevet:ignore droppederr measures already stored in r are finite
 			}
 		}
 	}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr reports error results that vanish silently: a call whose error
+// result is discarded by using it as a statement, and error values assigned
+// to the blank identifier. Deferred and go'd calls are exempt (both are
+// established cleanup idioms), as are _test.go files (the loader never
+// parses them). An intentional discard must carry a pragma naming its
+// reason:
+//
+//	_ = bw.Flush() //grovevet:ignore droppederr the write error was already returned
+//
+// `make lint` scopes this analyzer to internal/... — the engine must never
+// lose an error, while cmd/ and examples/ may best-effort print.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no silently discarded error results in engine packages",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := unparen(s.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if writesToInfallible(info, call) {
+					return true
+				}
+				for _, t := range resultTypes(info, call) {
+					if isErrorType(t) {
+						pass.Reportf(s.Pos(), "result of %s contains an error that is discarded; handle it or assign it with a //grovevet:ignore pragma",
+							types.ExprString(call.Fun))
+						break
+					}
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, info, s.Lhs, s.Rhs)
+			case *ast.ValueSpec:
+				// `var _ = f()` — same rule as assignment.
+				var lhs []ast.Expr
+				for _, n := range s.Names {
+					lhs = append(lhs, n)
+				}
+				checkBlankErrAssign(pass, info, lhs, s.Values)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags blank identifiers that swallow an error, in both
+// the 1:1 form (`_ = err`, `_, _ = a, b`) and the call-spread form
+// (`v, _ := f()`).
+func checkBlankErrAssign(pass *Pass, info *types.Info, lhs, rhs []ast.Expr) {
+	if len(rhs) == 0 {
+		return
+	}
+	report := func(e ast.Expr, src string) {
+		pass.Reportf(e.Pos(), "error discarded into _ (from %s); handle it or add a //grovevet:ignore pragma explaining why it is safe", src)
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		call, ok := unparen(rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results := resultTypes(info, call)
+		if len(results) != len(lhs) {
+			return
+		}
+		for i, l := range lhs {
+			if isBlank(l) && isErrorType(results[i]) {
+				report(l, types.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	if len(lhs) != len(rhs) || info == nil {
+		return
+	}
+	for i, l := range lhs {
+		if !isBlank(l) {
+			continue
+		}
+		if tv, ok := info.Types[rhs[i]]; ok && isErrorType(tv.Type) {
+			report(l, types.ExprString(rhs[i]))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// writesToInfallible exempts calls whose error result is structurally always
+// nil: methods on strings.Builder / bytes.Buffer (both documented never to
+// fail), and fmt.Fprint* directed at such a writer (Fprint only forwards the
+// writer's error).
+func writesToInfallible(info *types.Info, call *ast.CallExpr) bool {
+	if recv, _, _, ok := methodCall(call); ok {
+		if isInfallibleWriter(info, recv) {
+			return true
+		}
+		if pkg, ok := unparen(recv).(*ast.Ident); ok && pkg.Name == "fmt" {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return isInfallibleWriter(info, call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

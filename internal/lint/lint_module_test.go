@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleIsLintClean runs the full analyzer suite over grove itself with
+// the same filter `make lint` uses. The tree must stay clean: a failure here
+// means a commit introduced a finding (or an unexplained pragma) that
+// `go run ./cmd/grovevet` would reject.
+func TestModuleIsLintClean(t *testing.T) {
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(m.Pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range Run(m, Analyzers(), DefaultFilter(m)) {
+		t.Errorf("finding: %s", d)
+	}
+}

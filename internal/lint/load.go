@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded module package: parsed files plus (best-effort)
+// type information. Type errors never abort a load — packages that import
+// something unresolvable are still analyzed with whatever types resolved,
+// which is what lets fixture packages reference fake import paths.
+type Package struct {
+	Path  string // import path, e.g. "grove/internal/colstore"
+	Name  string // package name
+	Dir   string
+	Files []*ast.File
+
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Module is a loaded Go module: every package under its root (test files
+// and testdata trees excluded), type-checked in dependency order.
+type Module struct {
+	Path string // module path from go.mod
+	Dir  string // absolute module root
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+
+	pragmas map[string][]pragma // filename → grovevet:ignore comments
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// The FileSet and the stdlib source importer are process-wide: the importer
+// caches each stdlib package the first time any load touches it, which keeps
+// repeated fixture loads in tests from re-type-checking fmt and friends.
+var (
+	sharedFset   = token.NewFileSet()
+	stdOnce      sync.Once
+	stdImporter  types.Importer
+	stdLoadMu    sync.Mutex // srcimporter instances are not concurrency-safe
+	stdFakeCache = map[string]*types.Package{}
+)
+
+func stdlibImporter() types.Importer {
+	stdOnce.Do(func() {
+		// The source importer type-checks stdlib packages from $GOROOT/src.
+		// Disabling cgo selects the pure-Go variants (net, os/user), so the
+		// whole load stays in-process with no compiled artifacts needed.
+		build.Default.CgoEnabled = false
+		stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return stdImporter
+}
+
+// LoadModule loads the Go module containing dir: it locates go.mod, parses
+// every package beneath the module root (skipping _test.go files, testdata
+// trees, hidden directories and nested modules), and type-checks them with a
+// stdlib-only importer chain — module-local imports resolve recursively from
+// source, standard-library imports through the go/importer source importer,
+// and anything else becomes an empty placeholder package whose uses surface
+// as tolerated type errors.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Dir: root, Fset: sharedFset, pragmas: map[string][]pragma{}}
+
+	ld := &loader{m: m, srcs: map[string]*Package{}, done: map[string]bool{}, loading: map[string]bool{}}
+	if err := ld.parseTree(); err != nil {
+		return nil, err
+	}
+	for _, p := range ld.srcs {
+		ld.check(p)
+	}
+	for _, p := range ld.srcs {
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.Trim(strings.TrimSpace(rest), `"`), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+type loader struct {
+	m       *Module
+	srcs    map[string]*Package // import path → parsed package
+	done    map[string]bool
+	loading map[string]bool
+}
+
+// parseTree discovers and parses every package directory under the module
+// root.
+func (l *loader) parseTree() error {
+	return filepath.WalkDir(l.m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.m.Dir {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		return l.parseDir(path)
+	})
+}
+
+func (l *loader) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, fn)
+		f, err := parser.ParseFile(l.m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", full, err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			continue // stray file from another (e.g. build-tagged) package
+		}
+		files = append(files, f)
+		l.collectPragmas(full, f)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(l.m.Dir, dir)
+	if err != nil {
+		return err
+	}
+	path := l.m.Path
+	if rel != "." {
+		path = l.m.Path + "/" + filepath.ToSlash(rel)
+	}
+	l.srcs[path] = &Package{Path: path, Name: pkgName, Dir: dir, Files: files}
+	return nil
+}
+
+func (l *loader) collectPragmas(filename string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, pragmaMarker)
+			if i < 0 {
+				continue
+			}
+			l.m.pragmas[filename] = append(l.m.pragmas[filename], pragma{
+				pos:  l.m.Fset.Position(c.Pos()),
+				rest: strings.TrimSpace(text[i+len(pragmaMarker):]),
+			})
+		}
+	}
+}
+
+// Import implements types.Importer over the chain described in LoadModule.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.m.Path || strings.HasPrefix(path, l.m.Path+"/") {
+		p, ok := l.srcs[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: module package %q not found on disk", path)
+		}
+		if l.loading[p.Path] {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		l.check(p)
+		return p.Types, nil
+	}
+	stdLoadMu.Lock()
+	defer stdLoadMu.Unlock()
+	if pkg, err := stdlibImporter().Import(path); err == nil {
+		return pkg, nil
+	}
+	// Unresolvable (non-stdlib, non-module) import: hand back an empty
+	// placeholder so checking continues; stdlibonly reports the import
+	// itself and uses of its members surface as tolerated type errors.
+	if fake, ok := stdFakeCache[path]; ok {
+		return fake, nil
+	}
+	fake := types.NewPackage(path, pathBase(path))
+	fake.MarkComplete()
+	stdFakeCache[path] = fake
+	return fake, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// check type-checks one parsed package (and, via Import, its module-local
+// dependencies first). Errors are collected, never fatal.
+func (l *loader) check(p *Package) {
+	if l.done[p.Path] || l.loading[p.Path] {
+		return
+	}
+	l.loading[p.Path] = true
+	defer func() {
+		delete(l.loading, p.Path)
+		l.done[p.Path] = true
+	}()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(p.Path, l.m.Fset, p.Files, info) //grovevet:ignore droppederr type errors are collected via conf.Error; Check only repeats the first one
+	p.Types, p.Info = tpkg, info
+}

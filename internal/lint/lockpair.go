@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// LockPair enforces the colstore read-lock protocol documented on
+// Relation.BeginRead: every BeginRead is released — by a defer or by an
+// EndRead on every return path — and BeginRead is never nested on the same
+// relation within one function (RWMutex read locks are not reentrant once a
+// writer is queued, so nesting deadlocks under write load).
+//
+// The analysis is intra-procedural over the statement tree: branches of
+// if/switch/select are explored separately and joined on the set of locks
+// that are definitely held, loops must leave the lock state unchanged, and
+// function literals are analyzed as their own scopes (a deferred literal
+// that just calls EndRead counts as releasing the enclosing lock).
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "BeginRead must pair with EndRead on all paths and never nest",
+	Run:  runLockPair,
+}
+
+func runLockPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.analyzeFunc(fd.Body)
+		}
+	}
+}
+
+// lpLock is one BeginRead whose release is being tracked. Branch analysis
+// clones locks; origin points at the instance made at the BeginRead site so
+// reporting dedupes across branches.
+type lpLock struct {
+	pos      token.Pos
+	recv     string // rendering of the receiver expression, e.g. "e.Rel"
+	deferred bool   // a defer EndRead covers it
+	origin   *lpLock
+	reported bool // meaningful on the origin instance only
+}
+
+func (l *lpLock) reportOnce(w *lockWalker, format string, args ...any) {
+	if !l.origin.reported {
+		l.origin.reported = true
+		w.pass.Reportf(l.pos, format, args...)
+	}
+}
+
+// lpState is the abstract lock state at one program point.
+type lpState struct {
+	locks    []*lpLock
+	diverged bool // this path returned, panicked, or broke out
+}
+
+func (s *lpState) clone() *lpState {
+	ls := make([]*lpLock, len(s.locks))
+	for i, l := range s.locks {
+		c := *l
+		ls[i] = &c
+	}
+	return &lpState{locks: ls, diverged: s.diverged}
+}
+
+// sig identifies the set of locks that still need an explicit EndRead
+// (deferred locks are safe on every path, so they are excluded).
+func (s *lpState) sig() string {
+	var b strings.Builder
+	for _, l := range s.locks {
+		if !l.deferred {
+			b.WriteString(l.recv)
+			b.WriteByte('@')
+			b.WriteString(strconv.Itoa(int(l.origin.pos)))
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+func (s *lpState) find(origin *lpLock) *lpLock {
+	for _, l := range s.locks {
+		if l.origin == origin {
+			return l
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// lockCall matches recv.BeginRead() / recv.EndRead() on a *colstore.Relation
+// (any named type Relation, so fixtures can define their own).
+func (w *lockWalker) lockCall(e ast.Expr) (recvStr, name string, ok bool) {
+	recv, name, _, ok := methodCall(e)
+	if !ok || (name != "BeginRead" && name != "EndRead") {
+		return "", "", false
+	}
+	if !receiverNamed(w.pass.Pkg.Info, recv, "Relation") {
+		return "", "", false
+	}
+	return types.ExprString(recv), name, true
+}
+
+func (w *lockWalker) analyzeFunc(body *ast.BlockStmt) {
+	st := &lpState{}
+	w.stmts(body.List, st)
+	if !st.diverged {
+		for _, l := range st.locks {
+			if !l.deferred {
+				l.reportOnce(w, "BeginRead without matching EndRead")
+			}
+		}
+	}
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, st *lpState) {
+	for _, s := range list {
+		if st.diverged {
+			w.scanFuncLits(s) // unreachable here, but literals still run elsewhere
+			continue
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lpState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.ExprStmt:
+		if recv, name, ok := w.lockCall(s.X); ok {
+			w.lockOp(s.Pos(), recv, name, st)
+			return
+		}
+		w.scanFuncLits(s)
+		if isNoReturnCall(s.X) {
+			st.diverged = true
+		}
+	case *ast.DeferStmt:
+		if recv, name, ok := w.lockCall(s.Call); ok && name == "EndRead" {
+			w.deferEnd(s.Pos(), recv, st)
+			return
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			if recv, found := w.funcLitEndRead(fl); found {
+				w.deferEnd(s.Pos(), recv, st)
+				return // the literal's EndRead was credited; don't re-analyze it
+			}
+		}
+		w.scanFuncLits(s)
+	case *ast.ReturnStmt:
+		w.scanFuncLits(s)
+		for _, l := range st.locks {
+			if !l.deferred {
+				l.reportOnce(w, "BeginRead is not paired with an EndRead on every return path")
+			}
+		}
+		st.diverged = true
+	case *ast.BranchStmt:
+		st.diverged = true // break/continue/goto: stop tracking this path
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanFuncLitsExpr(s.Cond)
+		then := st.clone()
+		w.stmt(s.Body, then)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(s.Else, els)
+		}
+		w.join(s.Pos(), st, then, els)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanFuncLitsExpr(s.Cond)
+		body := st.clone()
+		w.stmt(s.Body, body)
+		if s.Post != nil && !body.diverged {
+			w.stmt(s.Post, body)
+		}
+		w.loopCheck(s.Pos(), st, body)
+	case *ast.RangeStmt:
+		w.scanFuncLitsExpr(s.X)
+		body := st.clone()
+		w.stmt(s.Body, body)
+		w.loopCheck(s.Pos(), st, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanFuncLitsExpr(s.Tag)
+		w.caseClauses(s.Pos(), s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanFuncLits(s.Assign)
+		w.caseClauses(s.Pos(), s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// A select without default blocks until some clause runs, so the
+		// clauses are exhaustive either way.
+		w.caseClauses(s.Pos(), s.Body.List, st, true)
+	default:
+		w.scanFuncLits(s)
+	}
+}
+
+func (w *lockWalker) lockOp(pos token.Pos, recvStr, name string, st *lpState) {
+	switch name {
+	case "BeginRead":
+		for _, l := range st.locks {
+			if l.recv == recvStr {
+				w.pass.Reportf(pos, "nested BeginRead: the read lock on %s is already held (line %d); RWMutex read locks must not nest",
+					recvStr, w.pass.Module.Fset.Position(l.origin.pos).Line)
+			}
+		}
+		l := &lpLock{pos: pos, recv: recvStr}
+		l.origin = l
+		st.locks = append(st.locks, l)
+	case "EndRead":
+		for i := len(st.locks) - 1; i >= 0; i-- {
+			l := st.locks[i]
+			if l.recv != recvStr {
+				continue
+			}
+			if l.deferred {
+				w.pass.Reportf(pos, "EndRead releases a lock on %s already scheduled for release by defer (double unlock)", recvStr)
+			}
+			st.locks = append(st.locks[:i], st.locks[i+1:]...)
+			return
+		}
+		w.pass.Reportf(pos, "EndRead without a matching BeginRead in this function")
+	}
+}
+
+func (w *lockWalker) deferEnd(pos token.Pos, recvStr string, st *lpState) {
+	for i := len(st.locks) - 1; i >= 0; i-- {
+		l := st.locks[i]
+		if l.recv == recvStr && !l.deferred {
+			l.deferred = true
+			return
+		}
+	}
+	w.pass.Reportf(pos, "defer EndRead without a BeginRead in this function")
+}
+
+// join merges branch outcomes back into st: it reports when two paths that
+// both fall through disagree on which locks still need releasing, and keeps
+// only the locks held on every live path.
+func (w *lockWalker) join(pos token.Pos, st *lpState, branches ...*lpState) {
+	var live []*lpState
+	for _, b := range branches {
+		if !b.diverged {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		st.diverged = true
+		return
+	}
+	first := live[0]
+	for _, b := range live[1:] {
+		if b.sig() != first.sig() {
+			w.pass.Reportf(pos, "BeginRead/EndRead imbalance: branches disagree on whether the read lock is held afterwards")
+			break
+		}
+	}
+	var locks []*lpLock
+	for _, l := range first.locks {
+		inAll := true
+		for _, b := range live[1:] {
+			if b.find(l.origin) == nil {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			locks = append(locks, l)
+		}
+	}
+	st.locks = locks
+	st.diverged = false
+}
+
+func (w *lockWalker) loopCheck(pos token.Pos, entry, body *lpState) {
+	if !body.diverged && body.sig() != entry.sig() {
+		w.pass.Reportf(pos, "BeginRead/EndRead imbalance: the loop body changes the read-lock state between iterations")
+	}
+}
+
+func (w *lockWalker) caseClauses(pos token.Pos, clauses []ast.Stmt, st *lpState, exhaustive bool) {
+	var branches []*lpState
+	for _, c := range clauses {
+		b := st.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.scanFuncLitsExpr(e)
+			}
+			w.stmts(cc.Body, b)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, b)
+			}
+			w.stmts(cc.Body, b)
+		}
+		branches = append(branches, b)
+	}
+	if !exhaustive || len(branches) == 0 {
+		branches = append(branches, st.clone())
+	}
+	w.join(pos, st, branches...)
+}
+
+// scanFuncLits analyzes every function literal syntactically contained in s
+// as an independent scope (goroutine bodies, callbacks).
+func (w *lockWalker) scanFuncLits(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.analyzeFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) scanFuncLitsExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.analyzeFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// funcLitEndRead reports whether the literal's body is (just) an unlock
+// wrapper: it contains an EndRead call statement and no BeginRead.
+func (w *lockWalker) funcLitEndRead(fl *ast.FuncLit) (recvStr string, found bool) {
+	for _, s := range fl.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		recv, name, ok := w.lockCall(es.X)
+		if !ok {
+			continue
+		}
+		if name == "BeginRead" {
+			return "", false
+		}
+		recvStr, found = recv, true
+	}
+	return recvStr, found
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isNoReturnCall matches calls that terminate the path: panic and os.Exit.
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

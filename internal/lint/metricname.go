@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MetricName guards the obs registry's naming contract, module-wide:
+//
+//   - metric families match the Prometheus grammar
+//     [a-zA-Z_:][a-zA-Z0-9_:]* and label keys [a-zA-Z_][a-zA-Z0-9_]*;
+//   - every family carries the grove_ prefix so dashboards can select the
+//     system's metrics with one matcher;
+//   - counters end in _total and gauges/histograms do not (the Prometheus
+//     counter convention — name drift between kinds is how dashboards
+//     silently break);
+//   - no full metric name is registered from more than one call site, and
+//     no family is registered under two different kinds.
+//
+// Names are resolved through go/types constant folding, so the check
+// follows the Metric* constants; for computed names (family + rendered
+// labels, as in NewQueryMetrics) the constant prefix is still validated.
+var MetricName = &Analyzer{
+	Name:      "metricname",
+	Doc:       "obs registry metric names follow the Prometheus contract",
+	RunModule: runMetricName,
+}
+
+// registryKinds maps obs.Registry constructor methods to the metric kind
+// they register.
+var registryKinds = map[string]string{
+	"Counter":        "counter",
+	"CounterFunc":    "counter",
+	"CounterVecFunc": "counter",
+	"Gauge":          "gauge",
+	"GaugeFunc":      "gauge",
+	"GaugeVecFunc":   "gauge",
+	"Histogram":      "histogram",
+}
+
+type metricSite struct {
+	pos  token.Pos
+	kind string
+}
+
+func runMetricName(pass *ModulePass) {
+	fullNames := map[string]metricSite{} // exact full name → first registration
+	kinds := map[string]metricSite{}     // complete family → first kind seen
+	for _, pkg := range pass.Module.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				recv, method, call, ok := methodCall(e)
+				if !ok {
+					return true
+				}
+				kind, ok := registryKinds[method]
+				if !ok || len(call.Args) == 0 || !receiverNamed(info, recv, "Registry") {
+					return true
+				}
+				name, exact := stringPrefix(info, call.Args[0])
+				checkMetricName(pass, call.Args[0].Pos(), name, exact, kind, fullNames, kinds)
+				return true
+			})
+		}
+	}
+}
+
+// stringPrefix resolves the static value of a string expression: the full
+// constant value when go/types can fold it, otherwise the constant prefix
+// of a `+` chain (exact=false).
+func stringPrefix(info *types.Info, e ast.Expr) (value string, exact bool) {
+	if info != nil {
+		if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	if b, ok := unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		s, _ := stringPrefix(info, b.X)
+		return s, false
+	}
+	return "", false
+}
+
+func checkMetricName(pass *ModulePass, pos token.Pos, name string, exact bool, kind string, fullNames, kinds map[string]metricSite) {
+	if name == "" && !exact {
+		pass.Reportf(pos, "metric name does not start with a constant: name the family with a Metric* constant so it can be checked")
+		return
+	}
+	family, rest, hasLabels := strings.Cut(name, "{")
+	familyComplete := exact || hasLabels
+
+	for i, c := range family {
+		if !isMetricNameChar(c, i == 0) {
+			pass.Reportf(pos, "%q is not a valid Prometheus metric name (offending character %q)", family, c)
+			break
+		}
+	}
+	if familyComplete && family == "" {
+		pass.Reportf(pos, "metric name has an empty family")
+	}
+	if !strings.HasPrefix(family, "grove_") && !strings.HasPrefix("grove_", family) {
+		pass.Reportf(pos, "metric family %q must carry the grove_ prefix", family)
+	}
+	if familyComplete {
+		switch {
+		case kind == "counter" && !strings.HasSuffix(family, "_total"):
+			pass.Reportf(pos, "counter %q must end in _total (Prometheus counter convention)", family)
+		case kind != "counter" && strings.HasSuffix(family, "_total"):
+			pass.Reportf(pos, "%s %q must not end in _total (that suffix is the counter convention)", kind, family)
+		}
+		if first, ok := kinds[family]; ok {
+			if first.kind != kind {
+				pass.Reportf(pos, "metric family %q registered both as %s and as %s (first at %s)",
+					family, first.kind, kind, pass.Module.Fset.Position(first.pos))
+			}
+		} else {
+			kinds[family] = metricSite{pos: pos, kind: kind}
+		}
+	}
+	if exact {
+		if hasLabels {
+			checkLabels(pass, pos, rest)
+		}
+		if first, ok := fullNames[name]; ok {
+			pass.Reportf(pos, "metric %q is registered more than once (first at %s); re-registration at a second call site hides which handle owns the series",
+				name, pass.Module.Fset.Position(first.pos))
+		} else {
+			fullNames[name] = metricSite{pos: pos, kind: kind}
+		}
+	}
+}
+
+func isMetricNameChar(c rune, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelKeyChar(c rune, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// checkLabels validates the `key="value",...}` tail of a full metric name.
+func checkLabels(pass *ModulePass, pos token.Pos, rest string) {
+	malformed := func(why string) {
+		pass.Reportf(pos, "metric labels {%s are malformed: %s", rest, why)
+	}
+	s, ok := strings.CutSuffix(rest, "}")
+	if !ok {
+		malformed("missing closing brace")
+		return
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			malformed("expected key=\"value\"")
+			return
+		}
+		key := s[:eq]
+		for i, c := range key {
+			if !isLabelKeyChar(c, i == 0) {
+				pass.Reportf(pos, "label key %q is not a valid Prometheus label name", key)
+				return
+			}
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			malformed("label value must be double-quoted")
+			return
+		}
+		s = s[1:]
+		for {
+			if len(s) == 0 {
+				malformed("unterminated label value")
+				return
+			}
+			if s[0] == '\\' {
+				if len(s) < 2 {
+					malformed("dangling escape in label value")
+					return
+				}
+				s = s[2:]
+				continue
+			}
+			if s[0] == '"' {
+				s = s[1:]
+				break
+			}
+			s = s[1:]
+		}
+		if len(s) > 0 {
+			if s[0] != ',' {
+				malformed("expected , between label pairs")
+				return
+			}
+			s = s[1:]
+			if len(s) == 0 {
+				malformed("trailing comma")
+				return
+			}
+		}
+	}
+}

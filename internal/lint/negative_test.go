@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFiles writes files (path → contents, plus a go.mod if absent) into a
+// fresh temp module and loads it.
+func loadFiles(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module fixture/neg\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return m
+}
+
+const relationDecl = `
+type Relation struct{ n int }
+
+func (r *Relation) BeginRead() {}
+func (r *Relation) EndRead()   {}
+`
+
+// TestNegatives drives each analyzer over sources that must NOT trip it (or
+// must trip it an exact number of times), covering the idioms the analyzers
+// promise to tolerate.
+func TestNegatives(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer *Analyzer
+		files    map[string]string
+		// wantMsgs is matched 1:1 (substring) against the diagnostics; empty
+		// means the source must be clean.
+		wantMsgs []string
+	}{
+		{
+			name:     "lockpair deferred unlock is balanced",
+			analyzer: LockPair,
+			files: map[string]string{"a.go": `package neg
+` + relationDecl + `
+func f(r *Relation) int {
+	r.BeginRead()
+	defer r.EndRead()
+	return r.n
+}
+`},
+		},
+		{
+			name:     "lockpair deferred wrapper literal is credited",
+			analyzer: LockPair,
+			files: map[string]string{"a.go": `package neg
+` + relationDecl + `
+func f(r *Relation) int {
+	r.BeginRead()
+	defer func() { r.EndRead() }()
+	return r.n
+}
+`},
+		},
+		{
+			name:     "lockpair unlock before every return is balanced",
+			analyzer: LockPair,
+			files: map[string]string{"a.go": `package neg
+` + relationDecl + `
+func f(r *Relation, early bool) int {
+	r.BeginRead()
+	if early {
+		r.EndRead()
+		return 0
+	}
+	n := r.n
+	r.EndRead()
+	return n
+}
+`},
+		},
+		{
+			name:     "lockpair path that panics needs no unlock",
+			analyzer: LockPair,
+			files: map[string]string{"a.go": `package neg
+` + relationDecl + `
+func f(r *Relation, bad bool) {
+	r.BeginRead()
+	defer r.EndRead()
+	if bad {
+		panic("no unlock needed past here")
+	}
+}
+`},
+		},
+		{
+			name:     "droppederr pragma with a reason suppresses",
+			analyzer: DroppedErr,
+			files: map[string]string{"a.go": `package neg
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+
+func f() {
+	_ = mayFail() //grovevet:ignore droppederr the test acknowledges this discard
+}
+`},
+		},
+		{
+			name:     "droppederr bare pragma suppresses nothing and is itself flagged",
+			analyzer: DroppedErr,
+			files: map[string]string{"a.go": `package neg
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+
+func f() {
+	_ = mayFail() //grovevet:ignore
+}
+`},
+			wantMsgs: []string{
+				"error discarded into _",
+				"pragma needs an explanation",
+			},
+		},
+		{
+			name:     "droppederr violations in _test.go files are never loaded",
+			analyzer: DroppedErr,
+			files: map[string]string{
+				"a.go": `package neg
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+`,
+				"a_test.go": `package neg
+
+func init() {
+	_ = mayFail()
+	mayFail()
+}
+`,
+			},
+		},
+		{
+			name:     "stdlibonly stdlib and module-local imports pass",
+			analyzer: StdlibOnly,
+			files: map[string]string{
+				"a.go": `package neg
+
+import (
+	"fmt"
+
+	"fixture/neg/sub"
+)
+
+var _ = fmt.Sprint(sub.X)
+`,
+				"sub/sub.go": `package sub
+
+var X = 1
+`,
+			},
+		},
+		{
+			name:     "mutexbyvalue pointers and fresh constructions pass",
+			analyzer: MutexByValue,
+			files: map[string]string{"a.go": `package neg
+
+import "sync"
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ptr(g *G) int { return g.n }
+
+func fresh() *G {
+	g := G{}
+	return &g
+}
+`},
+		},
+		{
+			name:     "atomicmix uniformly atomic access passes",
+			analyzer: AtomicMix,
+			files: map[string]string{"a.go": `package neg
+
+import "sync/atomic"
+
+type s struct{ hits int64 }
+
+func bump(v *s) { atomic.AddInt64(&v.hits, 1) }
+
+func read(v *s) int64 { return atomic.LoadInt64(&v.hits) }
+`},
+		},
+		{
+			name:     "metricname conforming registrations pass",
+			analyzer: MetricName,
+			files: map[string]string{"a.go": `package neg
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int { return 0 }
+func (r *Registry) Gauge(name, help string) int   { return 0 }
+
+func f(r *Registry) {
+	r.Counter("grove_ops_total", "ok")
+	r.Gauge("grove_queue_depth", "ok")
+}
+`},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := loadFiles(t, tc.files)
+			diags := Run(m, []*Analyzer{tc.analyzer}, nil)
+			if len(diags) != len(tc.wantMsgs) {
+				for _, d := range diags {
+					t.Logf("got: %s", d)
+				}
+				t.Fatalf("got %d diagnostics, want %d", len(diags), len(tc.wantMsgs))
+			}
+			for i, msg := range tc.wantMsgs {
+				if !strings.Contains(diags[i].Message, msg) {
+					t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, msg)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces grove's from-scratch constraint: every import must be
+// either a standard-library package (first path segment has no dot) or a
+// package of this module. Third-party modules — including golang.org/x — and
+// cgo (`import "C"`) are reported. The rule is what keeps the reproduction
+// self-contained and the build dependency-free.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "imports must be stdlib or module-local",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(pass *Pass) {
+	mod := pass.Module.Path
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == "C":
+				pass.Reportf(imp.Pos(), `import "C": cgo is not allowed in this stdlib-only module`)
+			case path == mod || strings.HasPrefix(path, mod+"/"):
+				// module-local: fine
+			case !strings.Contains(firstSegment(path), "."):
+				// stdlib: fine
+			default:
+				pass.Reportf(imp.Pos(), "import %q is neither standard library nor module-local; grove is stdlib-only by design", path)
+			}
+		}
+	}
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

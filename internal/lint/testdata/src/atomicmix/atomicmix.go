@@ -1,0 +1,32 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits     int64
+	misses   int64
+	unsynced int64
+}
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+}
+
+func readMissesOK(s *stats) int64 {
+	return atomic.LoadInt64(&s.misses)
+}
+
+func plainOnlyOK(s *stats) int64 {
+	s.unsynced++
+	return s.unsynced
+}
+
+func readHits(s *stats) int64 {
+	return s.hits // want "accessed atomically elsewhere"
+}
+
+func resetHits(s *stats) {
+	s.hits = 0 // want "accessed atomically elsewhere"
+}

@@ -1,0 +1,3 @@
+module fixture/atomicmix
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package droppederr is the golden fixture for the droppederr analyzer.
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func use(int) {}
+
+var _ = mayFail() // want "error discarded into _"
+
+func discardedCall() {
+	mayFail() // want "contains an error that is discarded"
+}
+
+func blankAssign() {
+	_ = mayFail() // want "error discarded into _"
+}
+
+func blankSpread() {
+	n, _ := twoResults() // want "error discarded into _"
+	use(n)
+}
+
+func handledOK() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := twoResults()
+	if err != nil {
+		return err
+	}
+	use(n)
+	return nil
+}
+
+func cleanupIdiomsOK() {
+	defer mayFail()
+	go mayFail()
+}
+
+func infallibleWritersOK() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	b.WriteString("builder writes never fail")
+	buf.WriteByte('!')
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Fprintln(&buf, "nor do Fprints directed at them")
+	return b.String() + buf.String()
+}
+
+func acknowledgedOK() {
+	_ = mayFail() //grovevet:ignore droppederr the fixture discards on purpose
+}
+
+func acknowledgedAboveOK() {
+	//grovevet:ignore droppederr a pragma on the line above also covers the discard
+	_ = mayFail()
+}

@@ -1,0 +1,3 @@
+module fixture/droppederr
+
+go 1.22

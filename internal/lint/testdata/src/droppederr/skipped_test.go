@@ -1,0 +1,9 @@
+// This file is deliberately full of discarded errors: the loader never
+// parses _test.go files, so none of them may surface as diagnostics. A want
+// comment here would fail the golden test — its absence is the assertion.
+package droppederr
+
+func init() {
+	_ = mayFail()
+	mayFail()
+}

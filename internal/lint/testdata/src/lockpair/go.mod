@@ -1,0 +1,3 @@
+module fixture/lockpair
+
+go 1.22

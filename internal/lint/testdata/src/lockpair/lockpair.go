@@ -1,0 +1,95 @@
+// Package lockpair is the golden fixture for the lockpair analyzer. The
+// local Relation type stands in for colstore.Relation — the analyzer matches
+// any named type Relation with BeginRead/EndRead methods.
+package lockpair
+
+type Relation struct{ n int }
+
+func (r *Relation) BeginRead() {}
+func (r *Relation) EndRead()   {}
+
+func deferredOK(r *Relation) int {
+	r.BeginRead()
+	defer r.EndRead()
+	return r.n
+}
+
+func straightOK(r *Relation) int {
+	r.BeginRead()
+	n := r.n
+	r.EndRead()
+	return n
+}
+
+func wrapperOK(r *Relation) int {
+	r.BeginRead()
+	defer func() { r.EndRead() }()
+	return r.n
+}
+
+func twoRelationsOK(a, b *Relation) {
+	a.BeginRead()
+	b.BeginRead()
+	b.EndRead()
+	a.EndRead()
+}
+
+func panicPathOK(r *Relation, bad bool) {
+	r.BeginRead()
+	if bad {
+		panic("diverges before the unlock")
+	}
+	r.EndRead()
+}
+
+var sink int
+
+func leak(r *Relation) {
+	r.BeginRead() // want "BeginRead without matching EndRead"
+	sink = r.n
+}
+
+func returnPath(r *Relation, early bool) int {
+	r.BeginRead() // want "not paired with an EndRead on every return path"
+	if early {
+		return 0
+	}
+	r.EndRead()
+	return r.n
+}
+
+func nested(r *Relation) {
+	r.BeginRead()
+	r.BeginRead() // want "nested BeginRead"
+	r.EndRead()
+	r.EndRead()
+}
+
+func strayEnd(r *Relation) {
+	r.EndRead() // want "EndRead without a matching BeginRead"
+}
+
+func doubleUnlock(r *Relation) {
+	r.BeginRead()
+	defer r.EndRead()
+	r.EndRead() // want "double unlock"
+}
+
+func branchImbalance(r *Relation, cold bool) {
+	r.BeginRead()
+	if cold { // want "branches disagree"
+		r.EndRead()
+	}
+}
+
+func loopImbalance(r *Relation, n int) {
+	for i := 0; i < n; i++ { // want "loop body changes the read-lock state"
+		r.BeginRead()
+	}
+}
+
+func goroutineScope(r *Relation) {
+	go func() {
+		r.BeginRead() // want "BeginRead without matching EndRead"
+	}()
+}

@@ -1,0 +1,3 @@
+module fixture/metricname
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package metricname is the golden fixture for the metricname analyzer. The
+// local Registry mirrors the constructor-method shapes of obs.Registry; the
+// analyzer matches any receiver whose named type is Registry.
+package metricname
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int                        { return 0 }
+func (r *Registry) CounterFunc(name, help string, fn func() float64) int { return 0 }
+func (r *Registry) Gauge(name, help string) int                          { return 0 }
+func (r *Registry) Histogram(name, help string, buckets []float64) int   { return 0 }
+
+const metricJobs = "grove_jobs_total"
+
+func register(r *Registry, dyn string) {
+	r.Counter("grove_ops_total", "ok")
+	r.CounterFunc("grove_reads_total", "ok", nil)
+	r.Gauge("grove_queue_depth", "ok")
+	r.Histogram("grove_latency_seconds", "ok", nil)
+	r.Counter(metricJobs, "names fold through constants")
+	r.Counter(`grove_hits_total{kind="read"}`, "labelled series are fine")
+	r.Counter("grove_dyn_total"+dyn, "constant prefix of a computed name is still vetted")
+
+	r.Counter("jobs_done_total", "x")              // want "must carry the grove_ prefix"
+	r.Counter("grove_ops", "x")                    // want "must end in _total"
+	r.Gauge("grove_depth_total", "x")              // want "must not end in _total"
+	r.Counter("grove_bad-name_total", "x")         // want "not a valid Prometheus metric name"
+	r.Counter("grove_ops_total", "x")              // want "registered more than once"
+	r.Gauge(`grove_latency_seconds{q="p99"}`, "x") // want "registered both as histogram and as gauge"
+	r.Counter(dyn, "x")                            // want "does not start with a constant"
+	r.Counter(`grove_lbl_total{1bad="v"}`, "x")    // want "not a valid Prometheus label name"
+	r.Counter(`grove_quote_total{kind=read}`, "x") // want "label value must be double-quoted"
+}

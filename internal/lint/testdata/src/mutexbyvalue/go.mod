@@ -1,0 +1,3 @@
+module fixture/mutexbyvalue
+
+go 1.22

@@ -1,0 +1,59 @@
+// Package mutexbyvalue is the golden fixture for the mutexbyvalue analyzer.
+package mutexbyvalue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Counted struct {
+	hits atomic.Int64
+}
+
+func use(int) {}
+
+func ptrParamOK(g *Guarded) int { return g.n }
+
+func constructOK() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+func byValueParam(g Guarded) int { return g.n } // want "parameter passes a lock by value"
+
+func byValueResult() Guarded { // want "result passes a lock by value"
+	return Guarded{}
+}
+
+func derefCopy(p *Guarded) {
+	local := *p // want "assignment copies a lock"
+	use(local.n)
+}
+
+func aliasCopy(p *Guarded) {
+	tmp := *p    // want "assignment copies a lock"
+	other := tmp // want "assignment copies a lock"
+	use(other.n)
+}
+
+func rangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies a lock"
+		total += g.n
+	}
+	return total
+}
+
+func passByValue(p *Guarded) int {
+	return byValueParam(*p) // want "call argument copies a lock"
+}
+
+func atomicCopy(c *Counted) {
+	snapshot := *c // want "assignment copies a lock"
+	use(int(snapshot.hits.Load()))
+}

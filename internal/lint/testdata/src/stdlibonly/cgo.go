@@ -1,0 +1,3 @@
+package stdlibonly
+
+import "C" // want "cgo is not allowed"

@@ -1,0 +1,3 @@
+module fixture/stdlibonly
+
+go 1.22

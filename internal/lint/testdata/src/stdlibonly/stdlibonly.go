@@ -1,0 +1,12 @@
+// Package stdlibonly is the golden fixture for the stdlibonly analyzer.
+package stdlibonly
+
+import (
+	"fmt"
+
+	_ "fixture/stdlibonly/sub"
+
+	_ "github.com/acme/widgets" // want "neither standard library nor module-local"
+)
+
+func use() string { return fmt.Sprint("stdlib and module-local imports pass") }

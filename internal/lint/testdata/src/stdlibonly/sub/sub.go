@@ -1,0 +1,2 @@
+// Package sub exists so the fixture can exercise a module-local import.
+package sub

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// methodCall matches a call of the form recv.Name(...) and returns the
+// receiver expression and method name.
+func methodCall(e ast.Expr) (recv ast.Expr, name string, call *ast.CallExpr, ok bool) {
+	c, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, "", nil, false
+	}
+	sel, ok := unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", nil, false
+	}
+	return sel.X, sel.Sel.Name, c, true
+}
+
+// receiverNamed reports whether the static type of recv is (a pointer to) a
+// named type called typeName. When type information is unavailable (the
+// expression failed to type-check) it errs toward true so analyzers stay
+// effective on fixture code with unresolved imports.
+func receiverNamed(info *types.Info, recv ast.Expr, typeName string) bool {
+	if info == nil {
+		return true
+	}
+	tv, ok := info.Types[recv]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == typeName
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// resultTypes flattens the static result type of a call: nil for a void
+// call, one element for a single result, the tuple components otherwise.
+// Returns nil when the call did not type-check.
+func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	if info == nil {
+		return nil
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		if tv.IsVoid() {
+			return nil
+		}
+		return []types.Type{t}
+	}
+}

@@ -16,9 +16,9 @@ var DefaultLatencyBuckets = []float64{
 // semantics. Observe is lock-free (atomic adds) and allocation-free, so it
 // sits on the per-query hot path.
 type Histogram struct {
-	bounds []float64      // upper bounds, ascending; +Inf implicit
-	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
-	count  atomic.Int64
+	bounds  []float64      // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
 }
 

@@ -18,24 +18,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, family := range r.snapshotMetrics() {
 		head := family[0]
 		if head.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", head.family, head.help)
+			if _, err := fmt.Fprintf(bw, "# HELP %s %s\n", head.family, head.help); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", head.family, head.kind.promType())
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", head.family, head.kind.promType()); err != nil {
+			return err
+		}
 		for _, m := range family {
-			writeMetric(bw, m)
+			if err := writeMetric(bw, m); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-func writeMetric(w io.Writer, m *metric) {
+func writeMetric(w io.Writer, m *metric) error {
 	switch m.kind {
 	case kindCounter:
-		writeSample(w, m.family, m.labels, float64(m.counter.Value()))
+		return writeSample(w, m.family, m.labels, float64(m.counter.Value()))
 	case kindGauge:
-		writeSample(w, m.family, m.labels, float64(m.gauge.Value()))
+		return writeSample(w, m.family, m.labels, float64(m.gauge.Value()))
 	case kindCounterFunc, kindGaugeFunc:
-		writeSample(w, m.family, m.labels, m.fn())
+		return writeSample(w, m.family, m.labels, m.fn())
 	case kindCounterVecFunc, kindGaugeVecFunc:
 		vals := m.vecFn()
 		labels := make([]string, 0, len(vals))
@@ -44,25 +50,36 @@ func writeMetric(w io.Writer, m *metric) {
 		}
 		sort.Strings(labels)
 		for _, l := range labels {
-			writeSample(w, m.family, l, vals[l])
+			if err := writeSample(w, m.family, l, vals[l]); err != nil {
+				return err
+			}
 		}
 	case kindHistogram:
 		bounds, cum := m.hist.Buckets()
 		for i, b := range bounds {
-			writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="`+formatFloat(b)+`"`), float64(cum[i]))
+			if err := writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="`+formatFloat(b)+`"`), float64(cum[i])); err != nil {
+				return err
+			}
 		}
-		writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="+Inf"`), float64(cum[len(cum)-1]))
-		writeSample(w, m.family+"_sum", m.labels, m.hist.Sum())
-		writeSample(w, m.family+"_count", m.labels, float64(m.hist.Count()))
+		if err := writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="+Inf"`), float64(cum[len(cum)-1])); err != nil {
+			return err
+		}
+		if err := writeSample(w, m.family+"_sum", m.labels, m.hist.Sum()); err != nil {
+			return err
+		}
+		return writeSample(w, m.family+"_count", m.labels, float64(m.hist.Count()))
 	}
+	return nil
 }
 
-func writeSample(w io.Writer, name, labels string, v float64) {
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	var err error
 	if labels == "" {
-		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
-		return
+		_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
 	}
-	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	return err
 }
 
 func joinLabels(a, b string) string {
@@ -81,6 +98,7 @@ func formatFloat(v float64) string {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//grovevet:ignore droppederr a failed write means the scraper hung up; nothing to report it to
 		_ = r.WritePrometheus(w)
 	})
 }
@@ -100,6 +118,7 @@ func Serve(addr string, h http.Handler) (*Server, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: h}
+	//grovevet:ignore droppederr Serve always returns ErrServerClosed once Close is called
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -29,10 +29,10 @@ type ResultCache struct {
 const defaultCacheShards = 16
 
 type cacheShard struct {
-	mu      sync.Mutex
-	cap     int
-	version uint64
-	entries map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	version   uint64
+	entries   map[string]*list.Element
 	lru       *list.List // front = most recently used
 	hits      int64
 	misses    int64

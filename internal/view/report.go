@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // SelectionReport describes a view selection against its workload: what each
@@ -93,10 +94,11 @@ func workloadCost(queries, views []EdgeSet) int {
 }
 
 // Render writes a human-readable report.
-func (r SelectionReport) Render(w io.Writer, describe func(EdgeSet) string) {
-	fmt.Fprintf(w, "workload: %d queries, %d bitmap fetches without views\n",
+func (r SelectionReport) Render(w io.Writer, describe func(EdgeSet) string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %d queries, %d bitmap fetches without views\n",
 		r.WorkloadQueries, r.BitmapsBefore)
-	fmt.Fprintf(w, "with %d views: %d fetches (%.1f%% saved)\n",
+	fmt.Fprintf(&b, "with %d views: %d fetches (%.1f%% saved)\n",
 		len(r.Entries), r.BitmapsAfter, 100*r.Savings())
 	entries := append([]ReportEntry(nil), r.Entries...)
 	sort.SliceStable(entries, func(i, j int) bool {
@@ -107,7 +109,9 @@ func (r SelectionReport) Render(w io.Writer, describe func(EdgeSet) string) {
 		if describe != nil {
 			desc = describe(e.Edges)
 		}
-		fmt.Fprintf(w, "  %2d. %d edges, used by %d queries: %s\n",
+		fmt.Fprintf(&b, "  %2d. %d edges, used by %d queries: %s\n",
 			i+1, len(e.Edges), e.QueriesUsing, desc)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
