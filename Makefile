@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench check
+.PHONY: build test race lint fuzz-smoke bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ fuzz-smoke:
 bench:
 	$(GO) test -run xxx -bench . ./...
 
+# One-iteration pass over the path-aggregation benchmarks: proves the
+# vectorized measure path still builds, runs, and stays allocation-bounded
+# without paying for a full benchmark run. The checked-in baseline is
+# BENCH_pathagg.json (regenerate with
+# `go test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 5x`).
+bench-smoke:
+	$(GO) test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 1x
+
 # The full gate CI runs: vet, lint, build, tests, then the race-detector
 # pass (which re-vets; harmless and keeps `make race` self-contained).
 check:
@@ -43,4 +51,5 @@ check:
 	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) bench-smoke
 	$(MAKE) race

@@ -6,6 +6,7 @@
 //	grovebench -exp fig6                # one experiment
 //	grovebench -exp all                 # the whole suite
 //	grovebench -exp fig3a -csv          # machine-readable output
+//	grovebench -exp measurescan -json   # JSON output (baseline files)
 //	grovebench -exp fig6 -ny 100000     # scale a dataset up
 //	grovebench -exp batch -parallel     # batch speedup, NumCPU workers
 //	grovebench -exp batch -workers 8    # batch speedup, fixed pool size
@@ -26,6 +27,7 @@ func main() {
 		exp  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		list = flag.Bool("list", false, "list experiments and exit")
 		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		js   = flag.Bool("json", false, "emit JSON instead of an aligned table")
 
 		sens     = flag.Int("sens", 0, "sensitivity-unit record count (fig3/4/5 base; 0 = default)")
 		ny       = flag.Int("ny", 0, "NY dataset record count (fig6/8/9; 0 = default)")
@@ -84,9 +86,12 @@ func main() {
 			os.Exit(1)
 		}
 		var werr error
-		if *csv {
+		switch {
+		case *js:
+			werr = tab.JSON(os.Stdout)
+		case *csv:
 			werr = tab.CSV(os.Stdout)
-		} else {
+		default:
 			werr = tab.Print(os.Stdout)
 		}
 		if werr != nil {

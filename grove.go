@@ -240,6 +240,12 @@ func (s *Store) Optimize() { s.rel.RunOptimize() }
 // SetUseViews toggles view-aware query rewriting (on by default).
 func (s *Store) SetUseViews(use bool) { s.eng.UseViews = use }
 
+// SetParallelPaths toggles concurrent per-path aggregation for multi-path
+// aggregation queries (off by default). Answers are identical to the
+// sequential path; it only engages while query tracing is disabled, since a
+// lifecycle trace records per-path phase spans in order.
+func (s *Store) SetParallelPaths(on bool) { s.eng.ParallelPaths = on }
+
 // EnableResultCache attaches a bounded structural-answer cache to the store
 // (capacity ≤ 0 selects a default). Any mutation — Add, Delete, Tag, view
 // materialization — invalidates it wholesale, so cached answers are always

@@ -1,0 +1,364 @@
+package agg
+
+import "math"
+
+// Block-at-a-time fold kernels. The Func representation — one indirect Fold
+// call and one indirect Lift call per value — is the right shape for
+// correctness and for user-supplied functions, but it is the dominant cost of
+// path aggregation once measures arrive as gathered blocks. A Kernel folds a
+// whole block with monomorphic loops the compiler can inline and unroll; the
+// built-in functions get specialized kernels, everything else falls back to a
+// generic kernel that preserves the exact Fold/Lift call sequence.
+//
+// Block semantics shared by all kernels (they mirror the scalar per-record
+// loop of path aggregation, column-at-a-time):
+//
+//   - acc[i] is record i's running aggregate; null[i] marks records whose
+//     aggregate is already NULL (a required segment had no value).
+//   - Required folds (Raw/Stored) skip records already NULL, mark records
+//     with no value in this block NULL, and fold the rest. Because each
+//     record sees its segment values in segment order, the fold sequence is
+//     bit-for-bit the scalar one.
+//   - Optional folds (node measures) skip NULL records and records with no
+//     value, without marking anything NULL.
+//   - present == nil asserts every slot has a value AND no accumulator is
+//     NULL yet: the branchless fast path. null may then also be nil.
+//
+// Every fold returns how many values it folded (the MeasuresScanned
+// contribution) and how many accumulators it newly marked NULL, so callers
+// keep cost-model accounting exact without re-scanning the block.
+
+// BlockFold folds one gathered block of measure values (values[i] is record
+// i's value when present[i]) into the per-record accumulators acc.
+type BlockFold func(acc, values []float64, present, null []bool) (folded, newNulls int)
+
+// Kernel bundles the block folds of one aggregate function.
+type Kernel struct {
+	// Raw folds raw measure values: the scalar sequence acc = Fold(acc,
+	// Lift(v)).
+	Raw BlockFold
+	// Stored folds stored partial aggregates (materialized aggregate-view
+	// values): acc = Fold(acc, v), Lift skipped — partial folds are already
+	// in the aggregation domain.
+	Stored BlockFold
+	// Optional folds raw values that do not NULL a record when absent
+	// (node measures): records already NULL and records without a value are
+	// skipped.
+	Optional BlockFold
+	// Reduce folds one block of raw values into a scalar accumulator:
+	// acc = Fold(acc, Lift(v)) for every v. Blocks never carry NULLs (the
+	// gather step compacts them away).
+	Reduce func(acc float64, values []float64) float64
+}
+
+// KernelFor returns the block kernel implementing f: a specialized
+// monomorphic kernel for the built-in SUM/MIN/MAX/COUNT functions, and a
+// generic kernel wrapping f.Fold/f.Lift for anything user-supplied. The
+// generic kernel is semantically identical, just slower.
+func KernelFor(f Func) Kernel {
+	switch f.Name {
+	case Sum.Name:
+		return Kernel{Raw: foldSum, Stored: foldSum, Optional: foldSumOpt, Reduce: reduceSum}
+	case Min.Name:
+		return Kernel{Raw: foldMin, Stored: foldMin, Optional: foldMinOpt, Reduce: reduceMin}
+	case Max.Name:
+		return Kernel{Raw: foldMax, Stored: foldMax, Optional: foldMaxOpt, Reduce: reduceMax}
+	case Count.Name:
+		// COUNT lifts every raw value to 1, so raw folds count and stored
+		// folds add the materialized partial counts.
+		return Kernel{Raw: foldCountRaw, Stored: foldSum, Optional: foldCountRawOpt, Reduce: reduceCount}
+	}
+	return genericKernel(f)
+}
+
+// --- SUM ---------------------------------------------------------------------
+
+func foldSum(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			acc[i] += v
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if null[i] {
+			continue
+		}
+		if !p {
+			null[i] = true
+			newNulls++
+			continue
+		}
+		acc[i] += values[i]
+		folded++
+	}
+	return folded, newNulls
+}
+
+func foldSumOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			acc[i] += v
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if p && !null[i] {
+			acc[i] += values[i]
+			folded++
+		}
+	}
+	return folded, 0
+}
+
+func reduceSum(acc float64, values []float64) float64 {
+	// Unrolled 4-wide on the loop control only — the adds stay in scalar
+	// order so the result is bit-for-bit the sequential fold (float addition
+	// must not be reassociated if the differential tests are to hold).
+	i := 0
+	for ; i+4 <= len(values); i += 4 {
+		acc += values[i]
+		acc += values[i+1]
+		acc += values[i+2]
+		acc += values[i+3]
+	}
+	for ; i < len(values); i++ {
+		acc += values[i]
+	}
+	return acc
+}
+
+// --- MIN ---------------------------------------------------------------------
+
+func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			if minReplaces(acc[i], v) {
+				acc[i] = v
+			}
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if null[i] {
+			continue
+		}
+		if !p {
+			null[i] = true
+			newNulls++
+			continue
+		}
+		if minReplaces(acc[i], values[i]) {
+			acc[i] = values[i]
+		}
+		folded++
+	}
+	return folded, newNulls
+}
+
+func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			if minReplaces(acc[i], v) {
+				acc[i] = v
+			}
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if p && !null[i] {
+			if minReplaces(acc[i], values[i]) {
+				acc[i] = values[i]
+			}
+			folded++
+		}
+	}
+	return folded, 0
+}
+
+func reduceMin(acc float64, values []float64) float64 {
+	for _, v := range values {
+		if minReplaces(acc, v) {
+			acc = v
+		}
+	}
+	return acc
+}
+
+// --- MAX ---------------------------------------------------------------------
+
+func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			if maxReplaces(acc[i], v) {
+				acc[i] = v
+			}
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if null[i] {
+			continue
+		}
+		if !p {
+			null[i] = true
+			newNulls++
+			continue
+		}
+		if maxReplaces(acc[i], values[i]) {
+			acc[i] = values[i]
+		}
+		folded++
+	}
+	return folded, newNulls
+}
+
+func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i, v := range values {
+			if maxReplaces(acc[i], v) {
+				acc[i] = v
+			}
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if p && !null[i] {
+			if maxReplaces(acc[i], values[i]) {
+				acc[i] = values[i]
+			}
+			folded++
+		}
+	}
+	return folded, 0
+}
+
+func reduceMax(acc float64, values []float64) float64 {
+	for _, v := range values {
+		if maxReplaces(acc, v) {
+			acc = v
+		}
+	}
+	return acc
+}
+
+// --- COUNT -------------------------------------------------------------------
+
+func foldCountRaw(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i := range values {
+			acc[i]++
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if null[i] {
+			continue
+		}
+		if !p {
+			null[i] = true
+			newNulls++
+			continue
+		}
+		acc[i]++
+		folded++
+	}
+	return folded, newNulls
+}
+
+func foldCountRawOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
+	if present == nil {
+		for i := range values {
+			acc[i]++
+		}
+		return len(values), 0
+	}
+	for i, p := range present {
+		if p && !null[i] {
+			acc[i]++
+			folded++
+		}
+	}
+	return folded, 0
+}
+
+func reduceCount(acc float64, values []float64) float64 {
+	return acc + float64(len(values))
+}
+
+// minReplaces reports whether folding v into acc with math.Min (the scalar
+// Min.Fold) would change acc to v. Matching math.Min exactly — including
+// Min(+0,-0) = -0 — keeps the kernels bit-for-bit with the scalar path; NaN
+// never reaches a kernel (the column format rejects it).
+func minReplaces(acc, v float64) bool {
+	return v < acc || (v == acc && math.Signbit(v) && !math.Signbit(acc))
+}
+
+// maxReplaces is minReplaces for math.Max: Max(-0,+0) = +0.
+func maxReplaces(acc, v float64) bool {
+	return v > acc || (v == acc && !math.Signbit(v) && math.Signbit(acc))
+}
+
+// --- generic fallback --------------------------------------------------------
+
+// genericKernel preserves the exact per-value Fold/Lift call sequence for
+// user-supplied functions, paying the indirect calls the specialized kernels
+// exist to avoid.
+func genericKernel(f Func) Kernel {
+	fold, lift := f.Fold, f.Lift
+	required := func(stored bool) BlockFold {
+		return func(acc, values []float64, present, null []bool) (folded, newNulls int) {
+			if present == nil {
+				for i, v := range values {
+					if !stored {
+						v = lift(v)
+					}
+					acc[i] = fold(acc[i], v)
+				}
+				return len(values), 0
+			}
+			for i, p := range present {
+				if null[i] {
+					continue
+				}
+				if !p {
+					null[i] = true
+					newNulls++
+					continue
+				}
+				v := values[i]
+				if !stored {
+					v = lift(v)
+				}
+				acc[i] = fold(acc[i], v)
+				folded++
+			}
+			return folded, newNulls
+		}
+	}
+	return Kernel{
+		Raw:    required(false),
+		Stored: required(true),
+		Optional: func(acc, values []float64, present, null []bool) (folded, newNulls int) {
+			if present == nil {
+				for i, v := range values {
+					acc[i] = fold(acc[i], lift(v))
+				}
+				return len(values), 0
+			}
+			for i, p := range present {
+				if p && !null[i] {
+					acc[i] = fold(acc[i], lift(values[i]))
+					folded++
+				}
+			}
+			return folded, 0
+		},
+		Reduce: func(acc float64, values []float64) float64 {
+			for _, v := range values {
+				acc = fold(acc, lift(v))
+			}
+			return acc
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarRequired is the scalar reference for Raw/Stored folds: the exact
+// per-record loop the kernels vectorize.
+func scalarRequired(f Func, stored bool, acc, values []float64, present, null []bool) (folded, newNulls int) {
+	for i := range acc {
+		if null != nil && null[i] {
+			continue
+		}
+		if present != nil && !present[i] {
+			null[i] = true
+			newNulls++
+			continue
+		}
+		v := values[i]
+		if !stored {
+			v = f.Lift(v)
+		}
+		acc[i] = f.Fold(acc[i], v)
+		folded++
+	}
+	return folded, newNulls
+}
+
+// scalarOptional is the scalar reference for Optional folds.
+func scalarOptional(f Func, acc, values []float64, present, null []bool) (folded int) {
+	for i := range acc {
+		if null != nil && null[i] {
+			continue
+		}
+		if present != nil && !present[i] {
+			continue
+		}
+		acc[i] = f.Fold(acc[i], f.Lift(values[i]))
+		folded++
+	}
+	return folded
+}
+
+// randomValue draws measures that stress float folding: magnitudes across
+// many exponents, negatives, exact zeros of both signs, and ±Inf.
+func randomValue(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0.0
+	case 1:
+		return math.Copysign(0, -1)
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.Inf(-1)
+	default:
+		return (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+}
+
+// userAvgLike is a user-supplied (non-builtin) function to exercise the
+// generic fallback kernel: a deliberately order-sensitive fold.
+var userAvgLike = Func{
+	Name:     "HALFSUM",
+	Identity: 0,
+	Lift:     func(v float64) float64 { return v / 2 },
+	Fold:     func(a, b float64) float64 { return a + b },
+}
+
+func TestKernelsMatchScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	funcs := []Func{Sum, Min, Max, Count, userAvgLike}
+	for _, f := range funcs {
+		k := KernelFor(f)
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(64)
+			values := make([]float64, n)
+			present := make([]bool, n)
+			null := make([]bool, n)
+			acc := make([]float64, n)
+			for i := range values {
+				values[i] = randomValue(rng)
+				present[i] = rng.Intn(4) != 0
+				null[i] = rng.Intn(5) == 0
+				if rng.Intn(2) == 0 {
+					acc[i] = randomValue(rng)
+				} else {
+					acc[i] = f.Identity
+				}
+			}
+			wantAcc := append([]float64(nil), acc...)
+			wantNull := append([]bool(nil), null...)
+
+			for _, mode := range []string{"raw", "stored", "optional"} {
+				gotAcc := append([]float64(nil), acc...)
+				gotNull := append([]bool(nil), null...)
+				refAcc := append([]float64(nil), wantAcc...)
+				refNull := append([]bool(nil), wantNull...)
+				var gf, gn, rf, rn int
+				switch mode {
+				case "raw":
+					gf, gn = k.Raw(gotAcc, values, present, gotNull)
+					rf, rn = scalarRequired(f, false, refAcc, values, present, refNull)
+				case "stored":
+					gf, gn = k.Stored(gotAcc, values, present, gotNull)
+					rf, rn = scalarRequired(f, true, refAcc, values, present, refNull)
+				case "optional":
+					gf, gn = k.Optional(gotAcc, values, present, gotNull)
+					rf = scalarOptional(f, refAcc, values, present, refNull)
+					rn = 0
+				}
+				if gf != rf || gn != rn {
+					t.Fatalf("%s/%s trial %d: counts (folded=%d nulls=%d), scalar (%d, %d)",
+						f.Name, mode, trial, gf, gn, rf, rn)
+				}
+				for i := range gotAcc {
+					if math.Float64bits(gotAcc[i]) != math.Float64bits(refAcc[i]) {
+						t.Fatalf("%s/%s trial %d: acc[%d] = %v (bits %x), scalar %v (bits %x)",
+							f.Name, mode, trial, i, gotAcc[i], math.Float64bits(gotAcc[i]),
+							refAcc[i], math.Float64bits(refAcc[i]))
+					}
+					if gotNull[i] != refNull[i] {
+						t.Fatalf("%s/%s trial %d: null[%d] = %v, scalar %v",
+							f.Name, mode, trial, i, gotNull[i], refNull[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelDensePathMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, f := range []Func{Sum, Min, Max, Count, userAvgLike} {
+		k := KernelFor(f)
+		for trial := 0; trial < 100; trial++ {
+			n := rng.Intn(64)
+			values := make([]float64, n)
+			acc := make([]float64, n)
+			for i := range values {
+				values[i] = randomValue(rng)
+				acc[i] = f.Identity
+			}
+			for mode, fold := range map[string]BlockFold{
+				"raw": k.Raw, "stored": k.Stored, "optional": k.Optional,
+			} {
+				gotAcc := append([]float64(nil), acc...)
+				refAcc := append([]float64(nil), acc...)
+				folded, nulls := fold(gotAcc, values, nil, nil)
+				if folded != n || nulls != 0 {
+					t.Fatalf("%s/%s dense: folded=%d nulls=%d, want %d, 0", f.Name, mode, folded, nulls, n)
+				}
+				scalarRequired(f, mode == "stored", refAcc, values, nil, nil)
+				for i := range gotAcc {
+					if math.Float64bits(gotAcc[i]) != math.Float64bits(refAcc[i]) {
+						t.Fatalf("%s/%s dense trial %d: acc[%d] = %v, scalar %v",
+							f.Name, mode, trial, i, gotAcc[i], refAcc[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceMatchesAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, f := range []Func{Sum, Min, Max, Count, userAvgLike} {
+		k := KernelFor(f)
+		for trial := 0; trial < 100; trial++ {
+			n := rng.Intn(100)
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = randomValue(rng)
+			}
+			got := k.Reduce(f.Identity, values)
+			want := f.Aggregate(values)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s trial %d: Reduce = %v (bits %x), Aggregate = %v (bits %x)",
+					f.Name, trial, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			// Reduce must also chain across split blocks (distributivity of
+			// the running accumulator, which AggregateInto relies on).
+			if n > 1 {
+				mid := rng.Intn(n)
+				chained := k.Reduce(k.Reduce(f.Identity, values[:mid]), values[mid:])
+				if math.Float64bits(chained) != math.Float64bits(want) {
+					t.Fatalf("%s trial %d: chained Reduce = %v, want %v", f.Name, trial, chained, want)
+				}
+			}
+		}
+	}
+}

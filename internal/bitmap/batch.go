@@ -1,0 +1,233 @@
+package bitmap
+
+// Block-at-a-time decode and rank kernels. The closure-based Each/Rank APIs
+// cost an indirect call per bit (or a container binary search per lookup),
+// which dominates measure materialization once the structural phase is
+// bitmap-cheap. The kernels below decode container contents into caller-owned
+// uint32 blocks and translate sorted record ids into dense value indexes in
+// one cursored pass, with no per-bit function calls.
+
+// BlockSize is the recommended capacity for NextMany block buffers: large
+// enough to amortize per-block bookkeeping, small enough to stay resident in
+// L1 while a fused consumer folds it.
+const BlockSize = 256
+
+// Iterator decodes a bitmap block-at-a-time in ascending value order. Obtain
+// one with Bitmap.Iterator; the zero value is an exhausted iterator. An
+// Iterator is invalidated by any mutation of the underlying bitmap and must
+// not be shared across goroutines.
+type Iterator struct {
+	b  *Bitmap
+	ci int // current container index
+
+	// Per-container cursor. Exactly one of the three families is active,
+	// selected by the current container's layout.
+	ai   int    // arrayContainer: next value index; runContainer: current run index
+	off  uint32 // runContainer: offset within the current run
+	wi   int    // bitsetContainer: current word index
+	word uint64 // bitsetContainer: unconsumed bits of words[wi]
+}
+
+// Iterator returns a block decoder positioned at the smallest value.
+func (b *Bitmap) Iterator() Iterator {
+	it := Iterator{b: b}
+	it.enterContainer()
+	return it
+}
+
+// enterContainer initializes the per-container cursor for container ci.
+func (it *Iterator) enterContainer() {
+	it.ai, it.off, it.wi, it.word = 0, 0, 0, 0
+	if it.b == nil || it.ci >= len(it.b.containers) {
+		return
+	}
+	if bc, ok := it.b.containers[it.ci].(*bitsetContainer); ok {
+		it.word = bc.words[0]
+	}
+}
+
+// NextMany decodes up to len(buf) values into buf and returns how many were
+// written. It returns 0 exactly when the iterator is exhausted (len(buf)==0
+// is the caller's bug). Values arrive in strictly ascending order across
+// calls.
+func (it *Iterator) NextMany(buf []uint32) int {
+	n := 0
+	for it.b != nil && it.ci < len(it.b.containers) && n < len(buf) {
+		high := uint32(it.b.keys[it.ci]) << 16
+		switch c := it.b.containers[it.ci].(type) {
+		case *arrayContainer:
+			for it.ai < len(c.values) && n < len(buf) {
+				buf[n] = high | uint32(c.values[it.ai])
+				it.ai++
+				n++
+			}
+			if it.ai < len(c.values) {
+				return n
+			}
+		case *bitsetContainer:
+			for it.wi < len(c.words) {
+				w := it.word
+				for w != 0 && n < len(buf) {
+					buf[n] = high | uint32(it.wi*64+popcountTrailing(w))
+					w &= w - 1
+					n++
+				}
+				if w != 0 {
+					it.word = w
+					return n
+				}
+				it.wi++
+				if it.wi < len(c.words) {
+					it.word = c.words[it.wi]
+				}
+			}
+		case *runContainer:
+			for it.ai < len(c.runs) {
+				r := c.runs[it.ai]
+				length := uint32(r.length)
+				for it.off <= length && n < len(buf) {
+					buf[n] = high | (uint32(r.start) + it.off)
+					it.off++
+					n++
+				}
+				if it.off <= length {
+					return n
+				}
+				it.ai++
+				it.off = 0
+			}
+		}
+		it.ci++
+		it.enterContainer()
+	}
+	return n
+}
+
+// AppendInto appends every value of b to dst in ascending order and returns
+// the extended slice — the reusable-buffer form of ToSlice. It decodes
+// container-at-a-time with no per-bit closure calls.
+func (b *Bitmap) AppendInto(dst []uint32) []uint32 {
+	if need := len(dst) + b.Cardinality(); cap(dst) < need {
+		grown := make([]uint32, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, c := range b.containers {
+		high := uint32(b.keys[i]) << 16
+		switch cc := c.(type) {
+		case *arrayContainer:
+			for _, v := range cc.values {
+				dst = append(dst, high|uint32(v))
+			}
+		case *bitsetContainer:
+			for wi, w := range cc.words {
+				for w != 0 {
+					dst = append(dst, high|uint32(wi*64+popcountTrailing(w)))
+					w &= w - 1
+				}
+			}
+		case *runContainer:
+			for _, r := range cc.runs {
+				v := high | uint32(r.start)
+				for k := uint32(0); k <= uint32(r.length); k++ {
+					dst = append(dst, v+k)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// RanksInto is the batch form of Rank-1/Contains over a sorted query set:
+// for every ascending vs[i] it stores into idx[i] the dense value index
+// (Rank(vs[i])-1) when vs[i] is present, and -1 when absent. idx must have
+// len(vs). One cursored pass over the bitmap's containers serves the whole
+// batch — per-chunk cardinalities are summed once and in-container positions
+// advance monotonically, instead of restarting a binary search and a prefix
+// popcount per lookup.
+//
+// Indexes are int32, which bounds the addressable cardinality at 2^31-1
+// values — far beyond the uint32 record-id space a measure column indexes in
+// practice (a column that dense would be ~16 GiB of float64 payload).
+func (b *Bitmap) RanksInto(vs []uint32, idx []int32) {
+	_ = idx[:len(vs)]
+	i := 0        // index into vs
+	base := 0     // cardinality of containers before ci
+	ci := 0       // current container index
+	var rk ranker // in-container cursor
+	for i < len(vs) {
+		key := uint16(vs[i] >> 16)
+		// Advance to the container holding key, accumulating cardinalities.
+		for ci < len(b.keys) && b.keys[ci] < key {
+			base += b.containers[ci].cardinality()
+			ci++
+		}
+		if ci >= len(b.keys) || b.keys[ci] > key {
+			// No container for this chunk: everything in it is absent.
+			for i < len(vs) && uint16(vs[i]>>16) == key {
+				idx[i] = -1
+				i++
+			}
+			continue
+		}
+		rk.reset(b.containers[ci])
+		for i < len(vs) && uint16(vs[i]>>16) == key {
+			r, ok := rk.rank(uint16(vs[i]))
+			if ok {
+				idx[i] = int32(base + r)
+			} else {
+				idx[i] = -1
+			}
+			i++
+		}
+		base += b.containers[ci].cardinality()
+		ci++
+	}
+}
+
+// ranker computes successive in-container ranks for an ascending sequence of
+// low-16-bit values, advancing a cursor instead of recomputing prefixes.
+type ranker struct {
+	c    container
+	ai   int // arrayContainer value cursor / runContainer run cursor
+	wi   int // bitsetContainer word cursor
+	pref int // bitsetContainer: set bits in words[:wi]; runContainer: values in runs[:ai]
+}
+
+func (r *ranker) reset(c container) { *r = ranker{c: c} }
+
+// rank returns (Rank(v)-1, true) when v is present, (_, false) otherwise.
+// Successive calls must pass non-decreasing v.
+func (r *ranker) rank(v uint16) (int, bool) {
+	switch c := r.c.(type) {
+	case *arrayContainer:
+		for r.ai < len(c.values) && c.values[r.ai] < v {
+			r.ai++
+		}
+		if r.ai < len(c.values) && c.values[r.ai] == v {
+			return r.ai, true
+		}
+		return 0, false
+	case *bitsetContainer:
+		w := int(v >> 6)
+		for r.wi < w {
+			r.pref += popcount(c.words[r.wi])
+			r.wi++
+		}
+		bit := uint64(1) << (v & 63)
+		if c.words[w]&bit == 0 {
+			return 0, false
+		}
+		return r.pref + popcount(c.words[w]&(bit-1)), true
+	case *runContainer:
+		for r.ai < len(c.runs) && uint32(c.runs[r.ai].start)+uint32(c.runs[r.ai].length) < uint32(v) {
+			r.pref += int(c.runs[r.ai].length) + 1
+			r.ai++
+		}
+		if r.ai < len(c.runs) && c.runs[r.ai].start <= v {
+			return r.pref + int(v-c.runs[r.ai].start), true
+		}
+		return 0, false
+	}
+	return 0, false
+}

@@ -70,40 +70,13 @@ func (c *MeasureColumn) ForEach(f func(rec uint32, v float64) bool) {
 }
 
 // ValuesFor reads the column for the given ascending record ids in one
-// batch, returning a value and a presence flag per id. For answer sets that
-// are large relative to the column it runs a single merge pass over the
-// column (O(column + len(recs))); for small answer sets it falls back to
-// per-record lookups. This is the column-at-a-time access path query
-// execution uses to materialize measures.
+// batch, returning a value and a presence flag per id. It is the allocating
+// convenience form of GatherInto; hot paths should pool their buffers and
+// call GatherInto directly.
 func (c *MeasureColumn) ValuesFor(recs []uint32) (values []float64, present []bool) {
 	values = make([]float64, len(recs))
 	present = make([]bool, len(recs))
-	if len(recs) == 0 {
-		return values, present
-	}
-	if len(recs) < c.Count()/16 {
-		for i, rec := range recs {
-			values[i], present[i] = c.Get(rec)
-		}
-		return values, present
-	}
-	i := 0 // index into recs
-	idx := 0
-	c.present.Each(func(rec uint32) bool {
-		for i < len(recs) && recs[i] < rec {
-			i++
-		}
-		if i >= len(recs) {
-			return false
-		}
-		if recs[i] == rec {
-			values[i] = c.values[idx]
-			present[i] = true
-			i++
-		}
-		idx++
-		return true
-	})
+	c.GatherInto(recs, values, present)
 	return values, present
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"grove/internal/agg"
 	"grove/internal/bitmap"
 	"grove/internal/colstore"
 	"grove/internal/gpath"
@@ -25,6 +26,15 @@ type Engine struct {
 	Rel      *colstore.Relation
 	Reg      *graph.Registry
 	UseViews bool
+
+	// ParallelPaths, when set, aggregates the maximal paths of a
+	// path-aggregation query on separate goroutines (columns are still
+	// fetched sequentially, so I/O accounting order is deterministic; the
+	// tracker's atomic counters make the fold accounting race-free). It only
+	// engages for untraced multi-path queries: a lifecycle trace records
+	// per-path phase spans whose ordering interleaved goroutines would
+	// scramble.
+	ParallelPaths bool
 
 	// cache, when set, memoizes structural answers across repeated queries
 	// (invalidated wholesale on any relation mutation).
@@ -54,7 +64,8 @@ func NewEngine(rel *colstore.Relation, reg *graph.Registry) *Engine {
 // and observability hooks with e, but with its own scratch — safe to use
 // from another goroutine concurrently with e.
 func (e *Engine) Clone() *Engine {
-	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews, cache: e.cache,
+	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews,
+		ParallelPaths: e.ParallelPaths, cache: e.cache,
 		metrics: e.metrics, traces: e.traces}
 }
 
@@ -232,11 +243,21 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery, tr *obs.ActiveTrace) (*R
 	return &Result{Query: q, Plan: plan, Answer: answer, eng: e}, nil
 }
 
+// recsPool recycles the decoded answer-set slices of the measure phases
+// across queries and goroutines.
+var recsPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// sumReduce is the SUM block-reduce kernel FetchMeasures folds its checksum
+// with; resolved once, not per query.
+var sumReduce = agg.KernelFor(agg.Sum).Reduce
+
 // FetchMeasures materializes the measures of the matched subgraph for every
 // answer record (the mandatory lower part of the Fig. 6 time breakdown).
-// It fetches the measure column of every query element, reads the value for
-// each answer record, and accounts the cross-partition record reassembly
-// joins (§6.1). It returns the number of measure values read.
+// It fetches the measure column of every query element, folds the values of
+// every answer record with the fused block kernel (no per-record lookups and
+// no intermediate value/presence slices), and accounts the cross-partition
+// record reassembly joins (§6.1). It returns the number of measure values
+// read.
 func (r *Result) FetchMeasures() int64 {
 	if r.Answer.IsEmpty() {
 		return 0 // nothing qualified; no measure columns are read
@@ -245,7 +266,8 @@ func (r *Result) FetchMeasures() int64 {
 	e.Rel.BeginRead()
 	defer e.Rel.EndRead()
 	elems := r.Query.G.Elements()
-	recs := r.Answer.ToSlice()
+	scratch := recsPool.Get().(*[]uint32)
+	recs := r.Answer.AppendInto((*scratch)[:0])
 	var scanned int64
 	var spanEdges []colstore.EdgeID
 	var sink float64
@@ -268,16 +290,14 @@ func (r *Result) FetchMeasures() int64 {
 				spanEdges = append(spanEdges, id)
 				spanned = true
 			}
-			values, present := col.ValuesFor(recs)
-			for i, has := range present {
-				if has {
-					sink += values[i]
-					scanned++
-				}
-			}
+			s, n := col.AggregateInto(recs, sink, sumReduce)
+			sink = s
+			scanned += int64(n)
 		}
 	}
 	_ = sink
+	*scratch = recs[:0]
+	recsPool.Put(scratch)
 	e.Rel.AccountMeasuresScanned(int(scanned))
 	e.Rel.JoinPartitions(e.Rel.PartitionSpan(spanEdges), r.Answer)
 	return scanned
@@ -490,8 +510,133 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 	return res, err
 }
 
+// segKind says how a planned segment's values enter the path fold.
+type segKind uint8
+
+const (
+	segRaw  segKind = iota // raw edge measure: Fold(acc, Lift(v)), required
+	segView                // stored partial aggregate: Fold(acc, v), required
+	segNode                // node measure: Fold(acc, Lift(v)), optional
+)
+
+// plannedSeg is one resolved operand of a path fold: a fetched measure
+// column (nil when it does not exist — every record folds to NULL) and how
+// its values enter the fold.
+type plannedSeg struct {
+	col  *colstore.MeasureColumn
+	kind segKind
+}
+
+// gatheredSeg is a plannedSeg after its column was batch-read over the
+// answer set: values[i]/present[i] per answer record (windows into the
+// pooled scratch slabs), n the number present.
+type gatheredSeg struct {
+	values  []float64
+	present []bool
+	n       int
+	kind    segKind
+}
+
+// pathScratch holds the pooled per-path working state of path aggregation:
+// the gather slabs (one values/present window per segment), the shared NULL
+// mask, and the segment descriptors. One scratch serves one path at a time.
+type pathScratch struct {
+	vslab   []float64
+	pslab   []bool
+	null    []bool
+	planned []plannedSeg
+	segs    []gatheredSeg
+}
+
+var pathScratchPool = sync.Pool{New: func() any { return new(pathScratch) }}
+
+// gather batch-reads every planned column over the answer set into the
+// scratch slabs and resets the NULL mask. Missing columns produce a nil
+// gatheredSeg window.
+func (sc *pathScratch) gather(recs []uint32, planned []plannedSeg) {
+	n := len(recs)
+	if need := len(planned) * n; cap(sc.vslab) < need {
+		sc.vslab = make([]float64, need)
+		sc.pslab = make([]bool, need)
+	}
+	if cap(sc.null) < n {
+		sc.null = make([]bool, n)
+	}
+	sc.null = sc.null[:n]
+	for i := range sc.null {
+		sc.null[i] = false
+	}
+	sc.segs = sc.segs[:0]
+	for si, ps := range planned {
+		if ps.col == nil {
+			sc.segs = append(sc.segs, gatheredSeg{kind: ps.kind})
+			continue
+		}
+		v := sc.vslab[si*n : (si+1)*n]
+		pr := sc.pslab[si*n : (si+1)*n]
+		cnt := ps.col.GatherInto(recs, v, pr)
+		sc.segs = append(sc.segs, gatheredSeg{values: v, present: pr, n: cnt, kind: ps.kind})
+	}
+}
+
+// foldGathered folds the gathered segments column-at-a-time into vals
+// (pre-filled with the aggregate identity) with the block kernels, and
+// returns how many values were folded (the MeasuresScanned contribution).
+// Per record the fold sequence is exactly the scalar per-record loop's —
+// required segments in path order until the first missing value, then the
+// optional node measures — so results are bit-for-bit identical even for
+// order-sensitive user functions. NULL records end as NaN.
+func foldGathered(k agg.Kernel, vals []float64, sc *pathScratch) (scanned int) {
+	nulls := 0
+	for _, s := range sc.segs {
+		switch {
+		case s.kind == segNode:
+			if s.values == nil {
+				continue
+			}
+			f, _ := k.Optional(vals, s.values, s.present, sc.null)
+			scanned += f
+		case s.values == nil:
+			// Required segment with no column: every surviving record
+			// folds to NULL, nothing is scanned.
+			for i, isNull := range sc.null {
+				if !isNull {
+					sc.null[i] = true
+					nulls++
+				}
+			}
+		default:
+			fold := k.Raw
+			if s.kind == segView {
+				fold = k.Stored
+			}
+			if nulls == 0 && s.n == len(vals) {
+				// Every record has a value and none is NULL yet: the
+				// branchless dense path.
+				f, _ := fold(vals, s.values, nil, nil)
+				scanned += f
+			} else {
+				f, nn := fold(vals, s.values, s.present, sc.null)
+				scanned += f
+				nulls += nn
+			}
+		}
+	}
+	if nulls > 0 {
+		for i, isNull := range sc.null {
+			if isNull {
+				vals[i] = math.NaN()
+			}
+		}
+	}
+	return scanned
+}
+
 // executePathAggQuery is the body of ExecutePathAggQuery, with lifecycle
-// spans recorded on tr when tracing is enabled.
+// spans recorded on tr when tracing is enabled. The measure side runs
+// block-at-a-time: per path, every segment column is batch-gathered over the
+// answer set into pooled scratch, then folded column-at-a-time with the
+// aggregate's block kernel.
 func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*AggResult, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty path aggregation query")
@@ -521,13 +666,18 @@ func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*Agg
 	res := &AggResult{
 		Query:     q,
 		Answer:    answer,
-		RecordIDs: answer.ToSlice(),
+		RecordIDs: answer.AppendInto(nil),
 		Paths:     paths,
 	}
+	k := agg.KernelFor(q.Agg)
 
-	// Column caches so shared segments across paths are fetched once.
+	// Column caches so shared segments across paths are fetched once, and
+	// per-element sentinel ids for edges the registry has never seen (each
+	// unknown element gets its own empty column slot, as in queryEdgeIDs —
+	// a shared sentinel would alias distinct unknown edges to one column).
 	measureCols := make(map[colstore.EdgeID]*colstore.MeasureColumn)
 	viewCols := make(map[string]*colstore.MeasureColumn)
+	unknown := make(map[graph.EdgeKey]colstore.EdgeID)
 	fetchMeasure := func(id colstore.EdgeID) *colstore.MeasureColumn {
 		if c, ok := measureCols[id]; ok {
 			return c
@@ -547,97 +697,118 @@ func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*Agg
 		viewCols[name] = c
 		return c, nil
 	}
-
-	scanned := 0
-	for _, p := range paths {
-		if tr != nil {
-			tr.Begin(obs.PhasePlan, e.ioNow()) // cover the path with agg views
-		}
+	resolve := func(p gpath.Path) []colstore.EdgeID {
 		ids := make([]colstore.EdgeID, 0, p.Len())
-		for _, k := range p.Edges() {
-			id, ok := e.Reg.Lookup(k)
+		for _, ek := range p.Edges() {
+			id, ok := e.Reg.Lookup(ek)
 			if !ok {
-				id = colstore.EdgeID(1<<24) + colstore.EdgeID(e.Reg.Len())
+				id, ok = unknown[ek]
+				if !ok {
+					id = colstore.EdgeID(uint32(e.Reg.Len()) + uint32(len(unknown)) + 1<<24)
+					unknown[ek] = id
+				}
 			}
 			ids = append(ids, id)
 		}
-		segs := coverPath(e.Rel, ids, q.Agg.Name, q.Measure, e.UseViews)
-		viewSegs, rawSegs := 0, 0
+		return ids
+	}
+	// planPath covers p with aggregate views and fetches every column the
+	// fold will read, appending the fold operands to dst: required segments
+	// in path order, then the optional node-measure columns. Covering is
+	// plan work, fetching is measure-scan work; the span boundary sits
+	// between them.
+	planPath := func(dst []plannedSeg, p gpath.Path) ([]plannedSeg, [2]int, error) {
+		segs := coverPath(e.Rel, resolve(p), q.Agg.Name, q.Measure, e.UseViews)
 		if tr != nil {
 			tr.Begin(obs.PhaseMeasureScan, e.ioNow())
 		}
-
-		// Resolve the columns each segment reads and batch-read them
-		// column-at-a-time over the answer set.
-		type boundSeg struct {
-			values  []float64
-			present []bool
-			isView  bool
-		}
-		bind := func(col *colstore.MeasureColumn, isView bool) boundSeg {
-			if col == nil {
-				return boundSeg{isView: isView}
-			}
-			v, pr := col.ValuesFor(res.RecordIDs)
-			return boundSeg{values: v, present: pr, isView: isView}
-		}
-		bound := make([]boundSeg, 0, len(segs))
+		viewSegs, rawSegs := 0, 0
 		for _, s := range segs {
 			if s.ViewName != "" {
 				c, err := fetchView(s.ViewName)
 				if err != nil {
-					return nil, err
+					return dst, [2]int{}, err
 				}
-				bound = append(bound, bind(c, true))
+				dst = append(dst, plannedSeg{col: c, kind: segView})
 				viewSegs++
 			} else {
-				bound = append(bound, bind(fetchMeasure(s.Edge), false))
+				dst = append(dst, plannedSeg{col: fetchMeasure(s.Edge), kind: segRaw})
 				rawSegs++
 			}
 		}
-		// Node-measure columns (when the application measured nodes).
-		var nodeCols []boundSeg
 		for _, n := range p.MeasuredNodes() {
 			if id, ok := e.Reg.Lookup(graph.NodeKey(n)); ok {
 				if e.Rel.MeasureColumn(id) != nil {
-					nodeCols = append(nodeCols, bind(fetchMeasure(id), false))
+					dst = append(dst, plannedSeg{col: fetchMeasure(id), kind: segNode})
 				}
 			}
 		}
-
-		if tr != nil {
-			tr.Begin(obs.PhaseAggregate, e.ioNow())
-		}
+		return dst, [2]int{viewSegs, rawSegs}, nil
+	}
+	newVals := func() []float64 {
 		vals := make([]float64, len(res.RecordIDs))
-		for i := range res.RecordIDs {
-			acc := q.Agg.Identity
-			null := false
-			for _, bs := range bound {
-				if bs.values == nil || !bs.present[i] {
-					null = true
-					break
-				}
-				if bs.isView {
-					acc = q.Agg.Fold(acc, bs.values[i]) // stored partial fold
-				} else {
-					acc = q.Agg.Fold(acc, q.Agg.Lift(bs.values[i]))
-				}
-				scanned++
-			}
-			if !null {
-				for _, nc := range nodeCols {
-					if nc.values != nil && nc.present[i] {
-						acc = q.Agg.Fold(acc, q.Agg.Lift(nc.values[i]))
-						scanned++
-					}
-				}
-				vals[i] = acc
-			} else {
-				vals[i] = math.NaN()
-			}
+		for i := range vals {
+			vals[i] = q.Agg.Identity
 		}
-		res.Values = append(res.Values, vals)
-		res.SegmentsPerPath = append(res.SegmentsPerPath, [2]int{viewSegs, rawSegs})
+		return vals
+	}
+
+	scanned := 0
+	if e.ParallelPaths && tr == nil && len(paths) > 1 {
+		// Plan and fetch all paths sequentially (the column caches and the
+		// fetch accounting are single-threaded state), then gather and fold
+		// each path on its own goroutine with its own pooled scratch. The
+		// relation read lock held above keeps writers out for the duration.
+		plans := make([][]plannedSeg, len(paths))
+		for pi, p := range paths {
+			var counts [2]int
+			plans[pi], counts, err = planPath(nil, p)
+			if err != nil {
+				return nil, err
+			}
+			res.SegmentsPerPath = append(res.SegmentsPerPath, counts)
+		}
+		res.Values = make([][]float64, len(paths))
+		perPath := make([]int, len(paths))
+		var wg sync.WaitGroup
+		for pi := range paths {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				sc := pathScratchPool.Get().(*pathScratch)
+				sc.gather(res.RecordIDs, plans[pi])
+				vals := newVals()
+				perPath[pi] = foldGathered(k, vals, sc)
+				res.Values[pi] = vals
+				pathScratchPool.Put(sc)
+			}(pi)
+		}
+		wg.Wait()
+		for _, c := range perPath {
+			scanned += c
+		}
+	} else {
+		sc := pathScratchPool.Get().(*pathScratch)
+		for _, p := range paths {
+			if tr != nil {
+				tr.Begin(obs.PhasePlan, e.ioNow()) // cover the path with agg views
+			}
+			var counts [2]int
+			sc.planned, counts, err = planPath(sc.planned[:0], p)
+			if err != nil {
+				pathScratchPool.Put(sc)
+				return nil, err
+			}
+			sc.gather(res.RecordIDs, sc.planned)
+			if tr != nil {
+				tr.Begin(obs.PhaseAggregate, e.ioNow())
+			}
+			vals := newVals()
+			scanned += foldGathered(k, vals, sc)
+			res.Values = append(res.Values, vals)
+			res.SegmentsPerPath = append(res.SegmentsPerPath, counts)
+		}
+		pathScratchPool.Put(sc)
 	}
 
 	e.Rel.AccountMeasuresScanned(scanned)

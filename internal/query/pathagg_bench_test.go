@@ -1,0 +1,72 @@
+package query
+
+import (
+	"testing"
+
+	"grove/internal/gpath"
+)
+
+// The PathAgg benchmarks size the vectorized measure path: a 5-edge chain
+// query over records dense (every record matches: the merge-gather path) or
+// sparse (few records match: the batch-rank path) in the chain's columns.
+// Run with `make bench-smoke` (or -bench=PathAgg); the checked-in baseline
+// lives in BENCH_pathagg.json.
+
+func benchmarkPathAgg(b *testing.B, numRecords int, density float64, parallel bool) {
+	f, nodes := pathChainFixture(b, numRecords, density)
+	f.eng.ParallelPaths = parallel
+	q := NewPathAggQueryAlong(gpath.Closed(nodes...), Sum, "")
+	if _, err := f.eng.ExecutePathAggQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eng.ExecutePathAggQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathAggDense(b *testing.B)  { benchmarkPathAgg(b, 50000, 1.0, false) }
+func BenchmarkPathAggSparse(b *testing.B) { benchmarkPathAgg(b, 50000, 0.5, false) }
+
+// BenchmarkPathAggMultiPath aggregates along the same chain split into
+// several explicit paths, sequentially and with ParallelPaths.
+func benchmarkPathAggMultiPath(b *testing.B, parallel bool) {
+	f, nodes := pathChainFixture(b, 50000, 1.0)
+	f.eng.ParallelPaths = parallel
+	q := &PathAggQuery{G: gpath.Closed(nodes...).ToGraph(), Agg: Sum, Paths: []gpath.Path{
+		gpath.Closed(nodes[:3]...), gpath.Closed(nodes[1:4]...),
+		gpath.Closed(nodes[2:5]...), gpath.Closed(nodes[3:]...),
+	}}
+	if _, err := f.eng.ExecutePathAggQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eng.ExecutePathAggQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathAggMultiPathSequential(b *testing.B) { benchmarkPathAggMultiPath(b, false) }
+func BenchmarkPathAggMultiPathParallel(b *testing.B)   { benchmarkPathAggMultiPath(b, true) }
+
+// BenchmarkPathAggFetchMeasures times the graph-query measure phase (the
+// fused AggregateInto scan) over a fixed structural answer.
+func BenchmarkPathAggFetchMeasures(b *testing.B) {
+	f, nodes := pathChainFixture(b, 50000, 1.0)
+	res, err := f.eng.ExecuteGraphQuery(pathQuery(nodes...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.FetchMeasures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.FetchMeasures()
+	}
+}
