@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-smoke check
+.PHONY: build test race lint fuzz-smoke bench bench-smoke durability check
 
 build:
 	$(GO) build ./...
@@ -9,29 +9,32 @@ test: build
 	$(GO) test ./...
 
 # Project-specific static analysis (internal/lint via cmd/grovevet): the
-# colstore lock protocol, dropped errors, metric naming, the stdlib-only
-# dependency policy, and sync/atomic hygiene. Exits non-zero on findings.
+# colstore lock protocol, dropped errors, fsio-mediated persistence I/O,
+# metric naming, the stdlib-only dependency policy, and sync/atomic hygiene.
+# Exits non-zero on findings.
 lint:
 	$(GO) run ./cmd/grovevet
 
 # Race-detector gate for the concurrent read path: vet everything, then run
 # the packages that share state across goroutines (engine scratch pool,
 # sharded result cache, relation RWMutex, registry, metrics endpoint, view
-# advisor, graphdb facade) plus the root facade.
+# advisor, graphdb facade, fault-injection FS) plus the root facade.
 race:
 	$(GO) vet ./...
 	$(GO) test -race . ./internal/query/... ./internal/bitmap/... \
 		./internal/colstore/... ./internal/obs/... ./internal/view/... \
-		./internal/graphdb/...
+		./internal/graphdb/... ./internal/fsio/...
 
 # Short fuzz pass over every decoder that consumes untrusted bytes: the
-# bitmap wire format, the query parser, and the colstore on-disk format.
+# bitmap wire format, the query parser, the colstore on-disk format, and the
+# CURRENT generation pointer.
 fuzz-smoke:
 	$(GO) test ./internal/bitmap/ -fuzz FuzzReadFrom -fuzztime 3s
 	$(GO) test ./internal/query/ -fuzz FuzzParse -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzMeasureColumnRoundTrip -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzReadMeasureColumn -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzLoadCorrupt -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzCurrentPointer -fuzztime 3s
 
 bench:
 	$(GO) test -run xxx -bench . ./...
@@ -44,12 +47,23 @@ bench:
 bench-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 1x
 
-# The full gate CI runs: vet, lint, build, tests, then the race-detector
-# pass (which re-vets; harmless and keeps `make race` self-contained).
+# The durability gate: crash Save at every injected I/O fault (with and
+# without torn writes) and prove Load always recovers a complete snapshot,
+# then exercise recovery, GC, rollback and cancellation paths.
+durability:
+	$(GO) test ./internal/colstore/ -run \
+		'TestSaveFaultSweep|TestLoadFallbackRecovery|TestSnapshotGCKeepCount|TestGenerationsInventoryAndRollback|TestConcurrentSaveLoadMutate' -v
+	$(GO) test ./internal/query/ -run 'Cancel|Batch' -v
+	$(GO) test . -run 'TestStoreContextCancelled|TestStoreExecuteBatchContextCancelled|TestStoreBatchPanicIsolated' -v
+
+# The full gate CI runs: vet, lint, build, tests, the durability sweep, then
+# the race-detector pass (which re-vets; harmless and keeps `make race`
+# self-contained).
 check:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) bench-smoke
+	$(MAKE) durability
 	$(MAKE) race

@@ -1,0 +1,102 @@
+package grove
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStoreContextCancelled: the facade's Context variants refuse an
+// already-cancelled context with context.Canceled.
+func TestStoreContextCancelled(t *testing.T) {
+	st := buildSCMStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := PathOf("A", "D", "E").ToGraph()
+	if _, err := st.MatchContext(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatchContext err = %v, want context.Canceled", err)
+	}
+	if _, err := st.AggregateContext(ctx, g, Sum); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AggregateContext err = %v, want context.Canceled", err)
+	}
+	// A fresh context still works after the cancelled attempts.
+	if _, err := st.MatchContext(context.Background(), g); err != nil {
+		t.Fatalf("MatchContext after cancellation = %v", err)
+	}
+}
+
+// TestStoreExecuteBatchContextCancelled: an already-cancelled context fails
+// every pending query of the batch promptly with context.Canceled.
+func TestStoreExecuteBatchContextCancelled(t *testing.T) {
+	st := buildSCMStore(t)
+	graphs := make([]*Graph, 20)
+	for i := range graphs {
+		graphs[i] = PathOf("A", "D", "E").ToGraph()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	results, errs := st.ExecuteBatchContext(ctx, graphs, 4)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled batch took %v", elapsed)
+	}
+	if len(errs) != len(graphs) {
+		t.Fatalf("%d error slots, want %d", len(errs), len(graphs))
+	}
+	for i := range graphs {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("query %d err = %v, want context.Canceled", i, errs[i])
+		}
+		if results[i] != nil {
+			t.Fatalf("query %d has a result despite cancellation", i)
+		}
+	}
+}
+
+// TestStoreBatchPanicIsolated: one panicking query surfaces as that query's
+// error while the rest of the batch completes, and the store stays usable.
+func TestStoreBatchPanicIsolated(t *testing.T) {
+	st := buildSCMStore(t)
+	panicky := AggFunc{
+		Name:     "BOOM",
+		Identity: 0,
+		Lift:     func(v float64) float64 { return v },
+		Fold:     func(a, b float64) float64 { panic("kernel exploded") },
+	}
+	graphs := make([]*Graph, 8)
+	for i := range graphs {
+		graphs[i] = PathOf("A", "D", "E").ToGraph()
+	}
+	// The facade applies one AggFunc to the whole batch, so isolation is
+	// asserted across batches: a panicking batch reports recovered errors,
+	// and the store keeps answering afterwards.
+	_, errs := st.AggregateBatchContext(context.Background(), graphs[:1], panicky, 2)
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "panicked") {
+		t.Fatalf("panicking query err = %v, want recovered panic", errs[0])
+	}
+	results, errs := st.AggregateBatchContext(context.Background(), graphs, Sum, 4)
+	for i := range graphs {
+		if errs[i] != nil {
+			t.Fatalf("query %d err = %v after recovered panic", i, errs[i])
+		}
+		if results[i] == nil {
+			t.Fatalf("query %d missing result", i)
+		}
+	}
+	// The recovered panic must not have leaked a read lock: writes proceed.
+	done := make(chan struct{})
+	go func() {
+		rec := NewRecord()
+		if err := rec.SetEdge("A", "D", 1); err == nil {
+			st.Add(rec)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked after recovered panic: read lock leaked")
+	}
+}

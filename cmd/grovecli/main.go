@@ -17,6 +17,8 @@
 //	grovecli -store /tmp/ny advise workload.grq 20   # propose views for a workload
 //	grovecli -store /tmp/ny analyze n1 n2 n13        # EXPLAIN ANALYZE a path query
 //	grovecli -store /tmp/ny metrics "[n1,n2]"        # run statements, dump metrics
+//	grovecli -store /tmp/ny recover                  # inventory snapshot generations
+//	grovecli -store /tmp/ny recover gen-000001       # force-install a generation
 //
 // With -metrics ADDR, grovecli serves /metrics (Prometheus text) and /traces
 // (JSON) on ADDR after the command runs, until interrupted.
@@ -43,6 +45,12 @@ func main() {
 	if *store == "" || flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
+	}
+	// recover inspects the snapshot generations on disk and must work on a
+	// store too damaged to load, so it is handled before LoadStore.
+	if flag.Arg(0) == "recover" {
+		recoverStore(*store, flag.Args()[1:])
+		return
 	}
 	st, err := grove.LoadStore(*store)
 	if err != nil {
@@ -131,8 +139,43 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|analyze|metrics|advise|views|addview|addagg|tag> [args]")
+	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|analyze|metrics|advise|views|addview|addagg|tag|recover> [args]")
 	flag.PrintDefaults()
+}
+
+// recoverStore lists the store's snapshot generations, or with a generation
+// name argument force-installs that generation as CURRENT. It never loads
+// the store, so it works when the installed snapshot is damaged.
+func recoverStore(dir string, args []string) {
+	switch len(args) {
+	case 0:
+		infos, err := grove.Generations(dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %12s  %-8s %s\n", "GENERATION", "BYTES", "CURRENT", "STATUS")
+		for _, info := range infos {
+			cur := ""
+			if info.Current {
+				cur = "current"
+			}
+			fmt.Printf("%-14s %12d  %-8s %s\n", info.Name, info.SizeBytes, cur, info.Status)
+		}
+		fmt.Fprintln(os.Stderr, "\nto force-install a generation: grovecli -store DIR recover <generation>")
+	case 1:
+		gen := args[0]
+		if err := grove.Rollback(dir, gen); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("installed %s as the current generation of %s\n", gen, dir)
+		// Prove the rollback target actually loads end to end.
+		if _, err := grove.LoadStore(dir); err != nil {
+			fatal(fmt.Errorf("rolled back, but the store still fails to load: %w", err))
+		}
+		fmt.Println("store loads cleanly")
+	default:
+		fatal(fmt.Errorf("recover takes at most one generation name"))
+	}
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ func main() {
 		minE    = flag.Int("min", 0, "min edges per record (0 = family default)")
 		maxE    = flag.Int("max", 0, "max edges per record (0 = family default)")
 		seed    = flag.Int64("seed", 42, "generator seed")
+		keep    = flag.Int("keep", 0, "snapshot generations to retain on disk (0 = default)")
 	)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	if *input != "" {
-		importTraces(*input, *out)
+		importTraces(*input, *out, *keep)
 		return
 	}
 
@@ -68,6 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)
 	}
+	ds.Rel.SetSnapshotKeep(*keep)
 	if err := ds.Rel.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)
@@ -84,7 +86,7 @@ func main() {
 	fmt.Printf("saved to %s (%.2f MB on disk)\n", *out, float64(sz)/(1<<20))
 }
 
-func importTraces(input, out string) {
+func importTraces(input, out string, keep int) {
 	f, err := os.Open(input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
@@ -98,6 +100,7 @@ func importTraces(input, out string) {
 		os.Exit(1)
 	}
 	st.Optimize()
+	st.SetSnapshotKeep(keep)
 	if err := st.Save(out); err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)

@@ -26,12 +26,14 @@ package grove
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"grove/internal/bitmap"
 	"grove/internal/colstore"
+	"grove/internal/fsio"
 	"grove/internal/gpath"
 	"grove/internal/graph"
 	"grove/internal/query"
@@ -263,6 +265,13 @@ func (s *Store) Match(g *Graph) (*Result, error) {
 	return s.eng.ExecuteGraphQuery(query.NewGraphQuery(g))
 }
 
+// MatchContext is Match with cancellation: the engine checks ctx between
+// bitmap fetches and abandons the query with ctx's error once cancelled
+// (recorded as a "cancelled" span when tracing is on).
+func (s *Store) MatchContext(ctx context.Context, g *Graph) (*Result, error) {
+	return s.eng.ExecuteGraphQueryContext(ctx, query.NewGraphQuery(g))
+}
+
 // MatchPath answers a single-path graph query over the given nodes.
 func (s *Store) MatchPath(nodes ...string) (*Result, error) {
 	if len(nodes) < 2 {
@@ -285,6 +294,19 @@ func (s *Store) ExecuteBatch(graphs []*Graph, workers int) ([]*Result, error) {
 	return query.NewBatchExecutor(s.eng, workers).ExecuteGraphQueries(queries)
 }
 
+// ExecuteBatchContext is ExecuteBatch with cancellation and per-query
+// errors: result slot i and error slot i belong to graphs[i]. Queries not
+// yet started when ctx is cancelled fail promptly with ctx's error, and a
+// panicking query surfaces as its own error while the rest of the batch
+// completes.
+func (s *Store) ExecuteBatchContext(ctx context.Context, graphs []*Graph, workers int) ([]*Result, []error) {
+	queries := make([]*query.GraphQuery, len(graphs))
+	for i, g := range graphs {
+		queries[i] = query.NewGraphQuery(g)
+	}
+	return query.NewBatchExecutor(s.eng, workers).ExecuteGraphQueriesContext(ctx, queries)
+}
+
 // AggregateBatch answers a batch of path-aggregation queries (f folded along
 // every maximal path of each graph) across a worker pool, with the same
 // ordering and determinism guarantees as ExecuteBatch.
@@ -296,10 +318,26 @@ func (s *Store) AggregateBatch(graphs []*Graph, f AggFunc, workers int) ([]*AggR
 	return query.NewBatchExecutor(s.eng, workers).ExecutePathAggQueries(queries)
 }
 
+// AggregateBatchContext is AggregateBatch with cancellation and per-query
+// errors, in the manner of ExecuteBatchContext.
+func (s *Store) AggregateBatchContext(ctx context.Context, graphs []*Graph, f AggFunc, workers int) ([]*AggResult, []error) {
+	queries := make([]*query.PathAggQuery, len(graphs))
+	for i, g := range graphs {
+		queries[i] = query.NewPathAggQuery(g, f)
+	}
+	return query.NewBatchExecutor(s.eng, workers).ExecutePathAggQueriesContext(ctx, queries)
+}
+
 // Aggregate answers a path-aggregation query: it matches g and folds f along
 // every maximal path of g for every matching record.
 func (s *Store) Aggregate(g *Graph, f AggFunc) (*AggResult, error) {
 	return s.eng.ExecutePathAggQuery(query.NewPathAggQuery(g, f))
+}
+
+// AggregateContext is Aggregate with cancellation, checked between bitmap
+// fetches and between per-path aggregation chunks.
+func (s *Store) AggregateContext(ctx context.Context, g *Graph, f AggFunc) (*AggResult, error) {
+	return s.eng.ExecutePathAggQueryContext(ctx, query.NewPathAggQuery(g, f))
 }
 
 // AggregatePath aggregates f along the single path over the given nodes.
@@ -617,13 +655,48 @@ func (s *Store) AggViewNames() []string {
 
 // --- persistence & accounting --------------------------------------------------
 
-// Save writes the store (columns, views, registry) to a directory.
+// Save writes the store (columns, views, registry) to a directory,
+// atomically: the relation lands as a new snapshot generation installed by
+// a CURRENT-pointer flip, so a crash mid-save leaves the previous snapshot
+// intact and loadable. The registry is written first — it is append-only,
+// so a newer registry next to an older relation snapshot is harmless,
+// while the reverse could leave relation columns whose edge ids the
+// registry cannot name.
 func (s *Store) Save(dir string) error {
-	if err := s.rel.Save(dir); err != nil {
+	if err := fsio.OS().MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("grove: save: %w", err)
+	}
+	if err := s.reg.Save(dir + "/registry.json"); err != nil {
 		return err
 	}
-	return s.reg.Save(dir + "/registry.json")
+	return s.rel.Save(dir)
 }
+
+// SetSnapshotKeep sets how many snapshot generations Save retains on disk
+// (older ones are garbage-collected after each successful Save); n < 1
+// resets to the default of colstore.DefaultSnapshotKeep. Keeping at least
+// two means Load can fall back to the previous generation if the newest is
+// damaged.
+func (s *Store) SetSnapshotKeep(n int) { s.rel.SetSnapshotKeep(n) }
+
+// GenerationInfo describes one on-disk snapshot generation of a saved
+// store, as reported by Generations.
+type GenerationInfo = colstore.GenerationInfo
+
+// Generations inventories the snapshot generations of a saved store, newest
+// first, verifying each one's checksum. It reads the directory directly —
+// no Store needs to load — so it works on damaged stores.
+func Generations(dir string) ([]GenerationInfo, error) { return colstore.Generations(dir) }
+
+// CurrentGeneration returns the generation name the store's CURRENT pointer
+// designates, or "" for a legacy flat store.
+func CurrentGeneration(dir string) string { return colstore.CurrentGeneration(dir) }
+
+// Rollback force-installs gen (e.g. "gen-000001") as the store's current
+// snapshot generation. The target must exist and pass checksum
+// verification. Like Generations it operates on the directory, so a store
+// whose newest generation is unloadable can be rolled back without loading.
+func Rollback(dir, gen string) error { return colstore.Rollback(dir, gen) }
 
 // LoadStore reads a store previously written with Save.
 func LoadStore(dir string) (*Store, error) {

@@ -7,14 +7,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 
 	"grove/internal/agg"
 	"grove/internal/bitmap"
+	"grove/internal/fsio"
 )
 
-// On-disk layout: a directory holding
+// On-disk layout: a store directory holding snapshot generations (see
+// generation.go); each generation directory holds
 //
 //	manifest.json — schema: record count, partition width, edge ids, views
 //	data.bin      — column payloads, in manifest order
@@ -64,21 +66,87 @@ type manifestAgg struct {
 
 const formatVersion = 1
 
-// Save writes the relation to dir, creating it if needed. It holds the read
-// lock for the duration, so concurrent queries proceed but writers wait until
-// the snapshot is on disk.
-func (r *Relation) Save(dir string) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the relation to dir as a new snapshot generation and
+// atomically installs it (see generation.go for the layout). A crash or I/O
+// failure at any point leaves the previously installed generation intact
+// and loadable — Save never modifies an existing snapshot in place.
+func (r *Relation) Save(dir string) error { return r.SaveFS(fsio.OS(), dir) }
+
+// SaveFS is Save against an explicit filesystem; the fault-injection tests
+// use it to crash the save at every individual I/O operation.
+//
+// Overlapping SaveFS calls serialize on an internal mutex, each producing
+// its own complete generation. The relation's read lock is held only while
+// the snapshot bytes are written, so concurrent queries proceed throughout
+// and writers wait only for that phase.
+func (r *Relation) SaveFS(fs fsio.FS, dir string) error {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("colstore: save: %w", err)
 	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	next := uint64(1)
+	for _, ent := range ents {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), tmpPrefix) {
+			// Debris of a save that crashed before installing.
+			if err := fs.RemoveAll(filepath.Join(dir, ent.Name())); err != nil {
+				return fmt.Errorf("colstore: save: clear stale %s: %w", ent.Name(), err)
+			}
+			continue
+		}
+		if n, ok := parseGenName(ent.Name()); ok && n >= next {
+			next = n + 1
+		}
+	}
+	gen := genDirName(next)
+	tmp := filepath.Join(dir, tmpPrefix+gen)
+	if err := fs.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	if err := r.writeSnapshot(fs, tmp); err != nil {
+		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the write error is already being returned
+		return err
+	}
+	// The snapshot's files are synced; sync its directory so the files'
+	// names are durable, rename the whole directory into place, and sync
+	// the store directory so the rename is durable. Only then repoint
+	// CURRENT — a crash anywhere before that leaves CURRENT on the old,
+	// complete generation.
+	if err := fs.SyncDir(tmp); err != nil {
+		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the sync error is already being returned
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, gen)); err != nil {
+		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the rename error is already being returned
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	if err := installCurrent(fs, dir, gen); err != nil {
+		return err
+	}
+	return gcGenerations(fs, dir, r.snapshotKeep(), gen)
+}
+
+// writeSnapshot writes one complete snapshot — data.bin then manifest.json,
+// both fsynced — into dir, which must already exist. It holds the
+// relation's read lock for the duration so the two files describe one
+// consistent state.
+func (r *Relation) writeSnapshot(fs fsio.FS, dir string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	m := manifest{
 		FormatVersion: formatVersion,
 		NumRecords:    r.numRecords.Load(),
 		PartWidth:     r.partWidth,
 	}
-	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
 	for _, e := range r.Edges() {
 		_, hasM := r.measures[e]
 		var names []string
@@ -102,13 +170,54 @@ func (r *Relation) Save(dir string) error {
 	}
 	m.HasDeleted = r.deleted != nil && !r.deleted.IsEmpty()
 
-	f, err := os.Create(filepath.Join(dir, "data.bin"))
+	crc := crc32.New(castagnoli)
+	f, err := fs.Create(filepath.Join(dir, "data.bin"))
 	if err != nil {
 		return fmt.Errorf("colstore: save data: %w", err)
 	}
-	defer f.Close()
 	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
+	if err := r.writeColumns(w, &m); err != nil {
+		f.Close() //grovevet:ignore droppederr the column write error is already being returned
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close() //grovevet:ignore droppederr the flush error is already being returned
+		return fmt.Errorf("colstore: save data: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //grovevet:ignore droppederr the sync error is already being returned
+		return fmt.Errorf("colstore: save data: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("colstore: save data: %w", err)
+	}
 
+	m.DataChecksum = crc.Sum32()
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("colstore: save manifest: %w", err)
+	}
+	mf, err := fs.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("colstore: save manifest: %w", err)
+	}
+	if _, err := mf.Write(mb); err != nil {
+		mf.Close() //grovevet:ignore droppederr the write error is already being returned
+		return fmt.Errorf("colstore: save manifest: %w", err)
+	}
+	if err := mf.Sync(); err != nil {
+		mf.Close() //grovevet:ignore droppederr the sync error is already being returned
+		return fmt.Errorf("colstore: save manifest: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("colstore: save manifest: %w", err)
+	}
+	return nil
+}
+
+// writeColumns streams every column payload to w in manifest order. The
+// caller holds the relation's read lock.
+func (r *Relation) writeColumns(w io.Writer, m *manifest) error {
 	for _, me := range m.Edges {
 		if _, err := r.bitmaps[me.ID].Bits().WriteTo(w); err != nil {
 			return fmt.Errorf("colstore: save edge %d bitmap: %w", me.ID, err)
@@ -148,27 +257,55 @@ func (r *Relation) Save(dir string) error {
 			return fmt.Errorf("colstore: save deleted bitmap: %w", err)
 		}
 	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("colstore: save data: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("colstore: save data: %w", err)
-	}
-
-	m.DataChecksum = crc.Sum32()
-	mb, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("colstore: save manifest: %w", err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
-		return fmt.Errorf("colstore: save manifest: %w", err)
-	}
 	return nil
 }
 
-// Load reads a relation previously written with Save.
-func Load(dir string) (*Relation, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+// Load reads a relation previously written with Save. It follows the
+// CURRENT pointer; when the installed generation is missing or damaged it
+// falls back to the newest older generation that still loads, counting the
+// recovery in PersistRecoveries. Stores written before the generational
+// layout (manifest.json at the directory root) load transparently.
+func Load(dir string) (*Relation, error) { return LoadFS(fsio.OS(), dir) }
+
+// LoadFS is Load against an explicit filesystem.
+func LoadFS(fs fsio.FS, dir string) (*Relation, error) {
+	gens := listGenerations(fs, dir)
+	cur, curOK := readCurrent(fs, dir)
+	if !curOK && len(gens) == 0 {
+		// Legacy flat layout (or a missing store — loadSnapshot reports
+		// that as its own error).
+		return loadSnapshot(fs, dir)
+	}
+	cands := make([]string, 0, len(gens)+1)
+	if curOK {
+		cands = append(cands, cur)
+	}
+	for _, g := range gens {
+		if !curOK || g != cur {
+			cands = append(cands, g)
+		}
+	}
+	var firstErr error
+	for i, g := range cands {
+		r, err := loadSnapshot(fs, filepath.Join(dir, g))
+		if err == nil {
+			if i > 0 || !curOK {
+				// The generation CURRENT designated was not usable (or the
+				// pointer itself was lost); an older snapshot saved the day.
+				persistRecoveries.Add(1)
+			}
+			return r, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("colstore: no loadable generation in %s: %w", dir, firstErr)
+}
+
+// readManifest reads and validates dir's manifest.json.
+func readManifest(fs fsio.FS, dir string) (*manifest, error) {
+	mb, err := fsio.ReadFile(fs, filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("colstore: load manifest: %w", err)
 	}
@@ -179,29 +316,60 @@ func Load(dir string) (*Relation, error) {
 	if m.FormatVersion != formatVersion {
 		return nil, fmt.Errorf("colstore: unsupported format version %d", m.FormatVersion)
 	}
+	return &m, nil
+}
 
-	f, err := os.Open(filepath.Join(dir, "data.bin"))
+// verifyChecksum streams dir's data.bin and compares it against the
+// manifest checksum. A zero checksum means the store predates checksumming
+// (or, vanishingly rarely, really hashes to zero); verification is skipped
+// for those.
+func verifyChecksum(fs fsio.FS, dir string, m *manifest) error {
+	if m.DataChecksum == 0 {
+		return nil
+	}
+	f, err := fs.Open(filepath.Join(dir, "data.bin"))
+	if err != nil {
+		return fmt.Errorf("colstore: load data: %w", err)
+	}
+	defer f.Close()
+	crc := crc32.New(castagnoli)
+	if _, err := io.Copy(crc, f); err != nil {
+		return fmt.Errorf("colstore: load data: %w", err)
+	}
+	if got := crc.Sum32(); got != m.DataChecksum {
+		return fmt.Errorf("colstore: data.bin checksum mismatch (got %#x, manifest says %#x)",
+			got, m.DataChecksum)
+	}
+	return nil
+}
+
+// verifySnapshot checks that dir holds a well-formed snapshot: the manifest
+// parses, the format version is supported, and data.bin matches the
+// manifest checksum. Cheaper than a full load (no column decode).
+func verifySnapshot(fs fsio.FS, dir string) error {
+	m, err := readManifest(fs, dir)
+	if err != nil {
+		return err
+	}
+	return verifyChecksum(fs, dir, m)
+}
+
+// loadSnapshot decodes the single snapshot in dir. Integrity is verified up
+// front: a flipped bit deep in a column must not surface later as a
+// silently wrong answer.
+func loadSnapshot(fs fsio.FS, dir string) (*Relation, error) {
+	m, err := readManifest(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyChecksum(fs, dir, m); err != nil {
+		return nil, err
+	}
+	f, err := fs.Open(filepath.Join(dir, "data.bin"))
 	if err != nil {
 		return nil, fmt.Errorf("colstore: load data: %w", err)
 	}
 	defer f.Close()
-	// Verify integrity up front: a flipped bit deep in a column must not
-	// surface later as a silently wrong answer. A zero checksum means the
-	// store predates checksumming (or, vanishingly rarely, really hashes to
-	// zero); verification is skipped for those.
-	if m.DataChecksum != 0 {
-		crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
-		if _, err := io.Copy(crc, f); err != nil {
-			return nil, fmt.Errorf("colstore: load data: %w", err)
-		}
-		if got := crc.Sum32(); got != m.DataChecksum {
-			return nil, fmt.Errorf("colstore: data.bin checksum mismatch (got %#x, manifest says %#x)",
-				got, m.DataChecksum)
-		}
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, fmt.Errorf("colstore: load data: %w", err)
-		}
-	}
 	rd := bufio.NewReaderSize(f, 1<<20)
 
 	r := NewRelation(m.PartWidth)
@@ -283,11 +451,15 @@ func Load(dir string) (*Relation, error) {
 	return r, nil
 }
 
-// DiskSizeBytes returns the total on-disk footprint of a saved relation.
+// DiskSizeBytes returns the on-disk footprint of the installed snapshot
+// (manifest.json + data.bin of the CURRENT generation, or of the directory
+// itself for a legacy flat store).
 func DiskSizeBytes(dir string) (int64, error) {
+	fs := fsio.OS()
+	snap := snapshotDir(fs, dir)
 	var n int64
 	for _, name := range []string{"manifest.json", "data.bin"} {
-		fi, err := os.Stat(filepath.Join(dir, name))
+		fi, err := fs.Stat(filepath.Join(snap, name))
 		if err != nil {
 			return 0, err
 		}

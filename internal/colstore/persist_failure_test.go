@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"grove/internal/agg"
+	"grove/internal/fsio"
 )
 
 // savedFixture writes a populated relation (views, tags, named measures) to
@@ -30,9 +31,20 @@ func savedFixture(t *testing.T) string {
 	return dir
 }
 
+// installedDir resolves the directory holding the installed snapshot's
+// manifest.json + data.bin, so corruption tests can damage the real files.
+func installedDir(t *testing.T, dir string) string {
+	t.Helper()
+	snap := snapshotDir(fsio.OS(), dir)
+	if _, err := os.Stat(filepath.Join(snap, "manifest.json")); err != nil {
+		t.Fatalf("no installed snapshot under %s: %v", dir, err)
+	}
+	return snap
+}
+
 func TestLoadRejectsTruncatedData(t *testing.T) {
 	dir := savedFixture(t)
-	path := filepath.Join(dir, "data.bin")
+	path := filepath.Join(installedDir(t, dir), "data.bin")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +61,7 @@ func TestLoadRejectsTruncatedData(t *testing.T) {
 
 func TestLoadRejectsCorruptManifest(t *testing.T) {
 	dir := savedFixture(t)
-	path := filepath.Join(dir, "manifest.json")
+	path := filepath.Join(installedDir(t, dir), "manifest.json")
 	cases := map[string]string{
 		"not json":        "{{{",
 		"bad version":     `{"format_version": 99}`,
@@ -67,7 +79,7 @@ func TestLoadRejectsCorruptManifest(t *testing.T) {
 
 func TestLoadRejectsFlippedBitmapMagic(t *testing.T) {
 	dir := savedFixture(t)
-	path := filepath.Join(dir, "data.bin")
+	path := filepath.Join(installedDir(t, dir), "data.bin")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +95,7 @@ func TestLoadRejectsFlippedBitmapMagic(t *testing.T) {
 
 func TestLoadRejectsMissingDataFile(t *testing.T) {
 	dir := savedFixture(t)
-	if err := os.Remove(filepath.Join(dir, "data.bin")); err != nil {
+	if err := os.Remove(filepath.Join(installedDir(t, dir), "data.bin")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {
@@ -132,7 +144,7 @@ func TestLoadRoundTripAfterEveryFeature(t *testing.T) {
 // even one that would still parse — must fail the checksum.
 func TestLoadDetectsSilentBitFlip(t *testing.T) {
 	dir := savedFixture(t)
-	path := filepath.Join(dir, "data.bin")
+	path := filepath.Join(installedDir(t, dir), "data.bin")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -82,6 +82,35 @@ type Relation struct {
 	deleted    *bitmap.Bitmap                      // soft-deleted record ids
 	version    atomic.Uint64                       // bumped on every mutation
 	tracker    Tracker
+
+	// saveMu serializes overlapping Save calls: each produces its own
+	// complete generation instead of racing on the next sequence number.
+	saveMu sync.Mutex
+	// snapKeep is how many snapshot generations Save retains (0 selects
+	// DefaultSnapshotKeep). Atomic so SetSnapshotKeep needs no lock.
+	snapKeep atomic.Int32
+}
+
+// DefaultSnapshotKeep is how many snapshot generations Save retains on
+// disk. Keeping at least two means the previous generation survives as a
+// fallback when the newest turns out damaged.
+const DefaultSnapshotKeep = 2
+
+// SetSnapshotKeep sets how many snapshot generations Save retains on disk;
+// older ones are garbage-collected after each successful Save. n < 1
+// resets to DefaultSnapshotKeep.
+func (r *Relation) SetSnapshotKeep(n int) {
+	if n < 1 {
+		n = 0
+	}
+	r.snapKeep.Store(int32(n))
+}
+
+func (r *Relation) snapshotKeep() int {
+	if v := r.snapKeep.Load(); v > 0 {
+		return int(v)
+	}
+	return DefaultSnapshotKeep
 }
 
 // NewRelation creates an empty master relation with the given vertical

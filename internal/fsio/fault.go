@@ -1,0 +1,207 @@
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns. Tests distinguish a
+// deliberate fault from a real filesystem failure with errors.Is.
+var ErrInjected = errors.New("fsio: injected fault")
+
+// FaultFS wraps an inner FS and deterministically fails its operations, with
+// crash semantics: once the armed operation has failed, every subsequent
+// operation fails too — modelling a process that died mid-sequence and
+// issued no further I/O. The k-th operation (1-based, counted across every
+// FS and File method) is the fault point; sweeping k over the full operation
+// count of a code path exercises a crash at every step of it.
+//
+// With torn writes enabled, the failing operation — when it is a Write —
+// first hands a prefix of the buffer to the inner file before erroring, so
+// the test also covers partially persisted buffers, not just cleanly missing
+// ones.
+//
+// FaultFS is safe for concurrent use; the operation counter is one shared
+// sequence across goroutines.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int64 // operations observed so far
+	failAt  int64 // 1-based op index to fail; 0 = never
+	crashed bool  // latch: set when the fault fires, fails everything after
+	torn    bool  // the failing Write persists half its buffer first
+	log     []string
+}
+
+// NewFaultFS wraps inner with an unarmed fault injector (all operations pass
+// through until FailAt arms it).
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailAt arms the injector to fail the k-th operation from now on (1-based)
+// and every operation after it. k ≤ 0 disarms. Resets the counter and the
+// crash latch.
+func (f *FaultFS) FailAt(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops, f.failAt, f.crashed = 0, k, false
+	f.log = f.log[:0]
+}
+
+// SetTornWrites controls whether the failing operation, when it is a Write,
+// persists the first half of its buffer before erroring.
+func (f *FaultFS) SetTornWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.torn = on
+}
+
+// Ops returns how many operations have been observed since the last FailAt.
+// Run the code path once unarmed to learn its total operation count, then
+// sweep FailAt over [1, Ops()].
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// OpLog returns a description of every operation observed since the last
+// FailAt, for debugging sweep failures.
+func (f *FaultFS) OpLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// step counts one operation and reports whether it must fail. The returned
+// torn flag is set when this is the armed operation and torn writes are on.
+func (f *FaultFS) step(format string, args ...any) (fail, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.log = append(f.log, fmt.Sprintf(format, args...))
+	if f.crashed {
+		return true, false
+	}
+	if f.failAt > 0 && f.ops == f.failAt {
+		f.crashed = true
+		return true, f.torn
+	}
+	return false, false
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if fail, _ := f.step("create %s", name); fail {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if fail, _ := f.step("open %s", name); fail {
+		return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fail, _ := f.step("rename %s -> %s", oldpath, newpath); fail {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if fail, _ := f.step("remove %s", name); fail {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if fail, _ := f.step("removeall %s", path); fail {
+		return fmt.Errorf("removeall %s: %w", path, ErrInjected)
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if fail, _ := f.step("mkdirall %s", dir); fail {
+		return fmt.Errorf("mkdirall %s: %w", dir, ErrInjected)
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if fail, _ := f.step("readdir %s", dir); fail {
+		return nil, fmt.Errorf("readdir %s: %w", dir, ErrInjected)
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if fail, _ := f.step("stat %s", name); fail {
+		return nil, fmt.Errorf("stat %s: %w", name, ErrInjected)
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if fail, _ := f.step("syncdir %s", dir); fail {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads a file's Write/Sync/Close operations through the parent
+// injector's shared counter. Reads are not counted: the fault model is about
+// what reaches the disk, and short reads are already covered by feeding Load
+// truncated files.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if fail, torn := f.fs.step("write %s (%d bytes)", f.name, len(p)); fail {
+		if torn && len(p) > 1 {
+			// A torn write: half the buffer reached the disk before the
+			// crash. The inner write's own error (if any) is subsumed by
+			// the injected one.
+			n, _ := f.inner.Write(p[:len(p)/2]) //grovevet:ignore droppederr the injected fault supersedes the partial write's error
+			return n, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+		}
+		return 0, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if fail, _ := f.fs.step("sync %s", f.name); fail {
+		return fmt.Errorf("sync %s: %w", f.name, ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if fail, _ := f.fs.step("close %s", f.name); fail {
+		// Still release the descriptor: a crashed process's fds are closed
+		// by the kernel; only the *success* of close is denied.
+		f.inner.Close() //grovevet:ignore droppederr the injected fault supersedes the close error
+		return fmt.Errorf("close %s: %w", f.name, ErrInjected)
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,196 @@
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(fs, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("read back %q", b)
+	}
+	if _, err := fs.Stat(name); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Rename(name, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	if err := WriteFileAtomic(fs, name, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(fs, name, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(name)
+	if err != nil || string(b) != "new" {
+		t.Fatalf("content = %q, %v", b, err)
+	}
+	if _, err := os.Stat(name + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileAtomicNeverTorn fails the atomic write at every operation
+// index; the destination must afterwards hold either the old content intact
+// or the new content intact.
+func TestWriteFileAtomicNeverTorn(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		fault := NewFaultFS(OS())
+		fault.SetTornWrites(torn)
+		dir := t.TempDir()
+		name := filepath.Join(dir, "f")
+		if err := WriteFileAtomic(fault, name, []byte("old-content")); err != nil {
+			t.Fatal(err)
+		}
+		total := fault.Ops()
+		if total == 0 {
+			t.Fatal("no operations counted")
+		}
+		for k := int64(1); k <= total; k++ {
+			fault.FailAt(k)
+			err := WriteFileAtomic(fault, name, []byte("NEW-CONTENT"))
+			fault.FailAt(0)
+			b, rerr := os.ReadFile(name)
+			if rerr != nil {
+				t.Fatalf("k=%d torn=%v: destination unreadable: %v", k, torn, rerr)
+			}
+			switch string(b) {
+			case "old-content", "NEW-CONTENT":
+			default:
+				t.Fatalf("k=%d torn=%v: torn destination %q (save err %v)", k, torn, b, err)
+			}
+			// Restore the baseline for the next fault point.
+			if err := WriteFileAtomic(fault, name, []byte("old-content")); err != nil {
+				t.Fatal(err)
+			}
+			fault.FailAt(0)
+		}
+	}
+}
+
+func TestFaultFSFailsExactlyAtK(t *testing.T) {
+	fault := NewFaultFS(OS())
+	dir := t.TempDir()
+	// Op 1: Create. Op 2: Write. Op 3: Sync. Op 4: Close.
+	fault.FailAt(3)
+	f, err := fault.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("op 1 failed early: %v", err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("op 2 failed early: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 err = %v, want injected", err)
+	}
+	// Crash latch: everything after the fault fails too.
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash close err = %v, want injected", err)
+	}
+	if _, err := fault.Stat(filepath.Join(dir, "x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash stat err = %v, want injected", err)
+	}
+	if got := fault.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	if lg := fault.OpLog(); len(lg) != 5 {
+		t.Fatalf("op log = %v", lg)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	fault := NewFaultFS(OS())
+	fault.SetTornWrites(true)
+	dir := t.TempDir()
+	name := filepath.Join(dir, "x")
+	fault.FailAt(2) // the Write
+	f, err := fault.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v", err)
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "01234" {
+		t.Fatalf("torn write persisted %q, want first half", b)
+	}
+}
+
+// TestFaultFSConcurrent exercises the shared operation counter from many
+// goroutines under -race: exactly the later operations fail once the armed
+// index is reached.
+func TestFaultFSConcurrent(t *testing.T) {
+	fault := NewFaultFS(OS())
+	dir := t.TempDir()
+	const goroutines, each = 8, 25
+	fault.FailAt(goroutines * each / 2)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed, passed int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_, err := fault.Stat(filepath.Join(dir, fmt.Sprintf("none-%d-%d", g, i)))
+				mu.Lock()
+				if errors.Is(err, ErrInjected) {
+					failed++
+				} else {
+					passed++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Ops [failAt, total] fail, everything before passes.
+	total := goroutines * each
+	if wantPass := total/2 - 1; failed != total-wantPass || passed != wantPass {
+		t.Fatalf("failed=%d passed=%d, want %d/%d", failed, passed, total-wantPass, wantPass)
+	}
+}

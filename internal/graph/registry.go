@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"grove/internal/colstore"
+	"grove/internal/fsio"
 )
 
 // Registry implements the "universally adopted schema" of §3.1: it assigns a
@@ -102,7 +103,9 @@ func (r *Registry) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("graph: save registry: %w", err)
 	}
-	return os.WriteFile(path, b, 0o644)
+	// Durable and atomic (temp + fsync + rename): a crash mid-save must not
+	// leave a truncated registry next to an intact relation snapshot.
+	return fsio.WriteFileAtomic(fsio.OS(), path, b)
 }
 
 // LoadRegistry reads a registry written by Save.

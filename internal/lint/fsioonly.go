@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fsioEntryPoints are the os-package filesystem mutators and readers that the
+// colstore persistence layer must route through fsio.FS so the fault-injection
+// harness sees every operation. Pure path/metadata helpers (os.Getenv,
+// os.DirEntry, os.IsNotExist, ...) are not listed and stay allowed.
+var fsioEntryPoints = map[string]bool{
+	"Create":    true,
+	"Open":      true,
+	"OpenFile":  true,
+	"Rename":    true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"Mkdir":     true,
+	"MkdirAll":  true,
+	"WriteFile": true,
+	"ReadFile":  true,
+	"ReadDir":   true,
+	"Stat":      true,
+	"Lstat":     true,
+	"Truncate":  true,
+	"Chmod":     true,
+	"Symlink":   true,
+	"Link":      true,
+}
+
+// FsioOnly enforces the crash-safety contract of the persistence layer: in
+// the packages it is scoped to (internal/colstore, via DefaultFilter), every
+// filesystem operation must go through a grove/internal/fsio.FS value, never
+// through the os package directly. A direct os call is invisible to the
+// FaultFS fault-injection harness, so the crash sweep would no longer prove
+// that Save is atomic at every I/O operation. Test files may use os freely
+// (the loader never parses them).
+var FsioOnly = &Analyzer{
+	Name: "fsioonly",
+	Doc:  "persistence code must do filesystem I/O through fsio.FS, not package os",
+	Run:  runFsioOnly,
+}
+
+func runFsioOnly(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(sel.X).(*ast.Ident)
+			if !ok || !fsioEntryPoints[sel.Sel.Name] {
+				return true
+			}
+			if !isPackageNamed(info, id, "os") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "os.%s bypasses the fsio.FS abstraction; route the operation through an fsio.FS so fault injection covers it",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isPackageNamed reports whether id refers to the import of the package with
+// the given path. Without type information (a fixture that failed to resolve)
+// it falls back to the identifier's spelling, erring toward reporting.
+func isPackageNamed(info *types.Info, id *ast.Ident, path string) bool {
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			pkg, ok := obj.(*types.PkgName)
+			return ok && pkg.Imported().Path() == path
+		}
+	}
+	return id.Name == path
+}

@@ -22,6 +22,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"lockpair", LockPair},
 		{"droppederr", DroppedErr},
+		{"fsioonly", FsioOnly},
 		{"metricname", MetricName},
 		{"stdlibonly", StdlibOnly},
 		{"mutexbyvalue", MutexByValue},

@@ -6,9 +6,10 @@
 // Analyzers enforce invariants that `go vet` cannot see because they are
 // grove conventions rather than language rules: the colstore read-lock
 // protocol (lockpair), the no-silently-dropped-errors rule for engine
-// packages (droppederr), the Prometheus metric-name contract of the obs
-// registry (metricname), the module's stdlib-only dependency policy
-// (stdlibonly), and lock/atomic hygiene (mutexbyvalue, atomicmix).
+// packages (droppederr), the fsio-mediated-I/O rule for the persistence
+// layer (fsioonly), the Prometheus metric-name contract of the obs registry
+// (metricname), the module's stdlib-only dependency policy (stdlibonly), and
+// lock/atomic hygiene (mutexbyvalue, atomicmix).
 //
 // A finding can be acknowledged in source with a pragma comment on the same
 // line or the line directly above:
@@ -87,17 +88,23 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns grove's full analyzer suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockPair, DroppedErr, MetricName, StdlibOnly, MutexByValue, AtomicMix}
+	return []*Analyzer{LockPair, DroppedErr, FsioOnly, MetricName, StdlibOnly, MutexByValue, AtomicMix}
 }
 
 // DefaultFilter scopes analyzers the way `make lint` runs them: droppederr
 // applies only to internal/... packages (cmd and example binaries may
-// legitimately best-effort print), everything else module-wide.
+// legitimately best-effort print), fsioonly only to the persistence layer
+// (internal/colstore — elsewhere direct os calls are fine), everything else
+// module-wide.
 func DefaultFilter(m *Module) func(*Analyzer, *Package) bool {
 	internalPrefix := m.Path + "/internal/"
+	colstorePath := m.Path + "/internal/colstore"
 	return func(a *Analyzer, p *Package) bool {
-		if a.Name == DroppedErr.Name {
+		switch a.Name {
+		case DroppedErr.Name:
 			return strings.HasPrefix(p.Path, internalPrefix)
+		case FsioOnly.Name:
+			return p.Path == colstorePath || strings.HasPrefix(p.Path, colstorePath+"/")
 		}
 		return true
 	}

@@ -157,6 +157,43 @@ func init() {
 			},
 		},
 		{
+			name:     "fsioonly fsio-mediated operations pass",
+			analyzer: FsioOnly,
+			files: map[string]string{"a.go": `package neg
+
+import "os"
+
+type FS interface {
+	Create(string) (*os.File, error)
+	MkdirAll(string, os.FileMode) error
+}
+
+func save(fs FS, dir string) error {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := fs.Create(dir + "/data.bin")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func notExist(err error) bool { return os.IsNotExist(err) }
+`},
+		},
+		{
+			name:     "fsioonly direct os call is reported once",
+			analyzer: FsioOnly,
+			files: map[string]string{"a.go": `package neg
+
+import "os"
+
+func nuke(dir string) error { return os.RemoveAll(dir) }
+`},
+			wantMsgs: []string{"os.RemoveAll bypasses the fsio.FS abstraction"},
+		},
+		{
 			name:     "stdlibonly stdlib and module-local imports pass",
 			analyzer: StdlibOnly,
 			files: map[string]string{

@@ -1,0 +1,51 @@
+// Package fsioonly is the golden fixture for the fsioonly analyzer.
+package fsioonly
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func directCalls(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `os\.MkdirAll bypasses the fsio\.FS abstraction`
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "data.bin")) // want `os\.Create bypasses the fsio\.FS abstraction`
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "data.bin")); err != nil { // want `os\.ReadFile bypasses the fsio\.FS abstraction`
+		return err
+	}
+	if err := os.Rename(dir, dir+".bak"); err != nil { // want `os\.Rename bypasses the fsio\.FS abstraction`
+		return err
+	}
+	return os.RemoveAll(dir + ".bak") // want `os\.RemoveAll bypasses the fsio\.FS abstraction`
+}
+
+// Metadata helpers and error predicates are not filesystem mutations; they
+// stay allowed.
+func allowedHelpers(err error) (string, bool) {
+	_ = os.IsNotExist(err)
+	var ent os.DirEntry
+	_ = ent
+	return os.Getenv("HOME"), os.IsPermission(err)
+}
+
+// A pragma with a reason acknowledges a deliberate bypass.
+func acknowledged(dir string) error {
+	return os.Remove(dir) //grovevet:ignore fsioonly boot-time cleanup before any FS exists
+}
+
+// A local identifier named os must not be mistaken for the package.
+type fakeOS struct{}
+
+func (fakeOS) Stat(string) error { return nil }
+
+func shadowed(dir string) error {
+	var os fakeOS
+	return os.Stat(dir)
+}

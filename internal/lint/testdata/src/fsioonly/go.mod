@@ -1,0 +1,3 @@
+module fixture/fsioonly
+
+go 1.22

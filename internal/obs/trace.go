@@ -25,6 +25,7 @@ const (
 	PhaseMeasureScan = "measure-scan" // measure column reads (ValuesFor)
 	PhaseAggregate   = "aggregate"    // per-record folding
 	PhaseCache       = "cache"        // answer served from the result cache
+	PhaseCancelled   = "cancelled"    // query abandoned on context cancellation
 )
 
 // IODelta is the column-store I/O attributed to a span or trace — the same

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -22,6 +23,12 @@ type StatementResult struct {
 // "parse" phase), and the statement is metered under the "statement" kind
 // rather than as a bare expression or aggregation.
 func (e *Engine) ExecuteStatement(text string) (*StatementResult, error) {
+	return e.ExecuteStatementContext(context.Background(), text)
+}
+
+// ExecuteStatementContext is ExecuteStatement with cancellation, checked
+// between column fetches and per-path aggregation chunks.
+func (e *Engine) ExecuteStatementContext(ctx context.Context, text string) (*StatementResult, error) {
 	var start time.Time
 	if e.metrics != nil {
 		start = time.Now()
@@ -30,7 +37,7 @@ func (e *Engine) ExecuteStatement(text string) (*StatementResult, error) {
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindStatement, text, e.ioNow())
 	}
-	res, err := e.executeStatement(text, tr)
+	res, err := e.executeStatement(ctx, text, tr)
 	if tr != nil {
 		e.traces.Add(tr.Finish(e.ioNow()))
 	}
@@ -40,7 +47,7 @@ func (e *Engine) ExecuteStatement(text string) (*StatementResult, error) {
 	return res, err
 }
 
-func (e *Engine) executeStatement(text string, tr *obs.ActiveTrace) (*StatementResult, error) {
+func (e *Engine) executeStatement(ctx context.Context, text string, tr *obs.ActiveTrace) (*StatementResult, error) {
 	if tr != nil {
 		tr.Begin(obs.PhaseParse, e.ioNow())
 	}
@@ -49,15 +56,17 @@ func (e *Engine) executeStatement(text string, tr *obs.ActiveTrace) (*StatementR
 		return nil, err
 	}
 	if stmt.Agg != nil {
-		res, err := e.executePathAggQuery(stmt.Agg, tr) // takes the read lock itself
+		res, err := e.executePathAggQuery(ctx, stmt.Agg, tr) // takes the read lock itself
 		if err != nil {
 			return nil, err
 		}
 		return &StatementResult{Agg: res}, nil
 	}
-	e.Rel.BeginRead()
-	ids, err := e.evalExprLocked(stmt.Expr, tr)
-	e.Rel.EndRead()
+	ids, err := func() (*bitmap.Bitmap, error) {
+		e.Rel.BeginRead()
+		defer e.Rel.EndRead()
+		return e.evalExprLocked(ctx, stmt.Expr, tr)
+	}()
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,9 +16,13 @@ import (
 // result cache; private scratch).
 //
 // Results are deterministic: result slot i always holds the answer of query
-// i, whichever worker computed it, and on failure the error of the
-// lowest-index failing query is returned — identical to what a sequential
-// run would report.
+// i, whichever worker computed it. The Context variants return one error
+// slot per query; the non-Context wrappers collapse that to the error of
+// the lowest-index failing query — identical to what a sequential run would
+// report. A query that panics (a malformed plan, a kernel bug) surfaces as
+// that query's error, not as a crashed batch, and a cancelled context fails
+// the not-yet-started queries promptly with the context's error while
+// queries already running finish their current cancellation check.
 type BatchExecutor struct {
 	eng     *Engine
 	workers int
@@ -39,44 +44,73 @@ func (b *BatchExecutor) Workers() int { return b.workers }
 // order. A single worker (or a single query) degrades to a plain sequential
 // loop with no goroutine or synchronization overhead.
 func (b *BatchExecutor) ExecuteGraphQueries(queries []*GraphQuery) ([]*Result, error) {
+	results, errs := b.ExecuteGraphQueriesContext(context.Background(), queries)
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ExecuteGraphQueriesContext runs every query under ctx and returns the
+// results and one error slot per query (nil on success). Queries not yet
+// started when ctx is cancelled fail with ctx's error; a panicking query
+// fails alone while the rest of the batch completes.
+func (b *BatchExecutor) ExecuteGraphQueriesContext(ctx context.Context, queries []*GraphQuery) ([]*Result, []error) {
 	results := make([]*Result, len(queries))
-	err := b.run(len(queries), func(eng *Engine, i int) error {
-		res, err := eng.ExecuteGraphQuery(queries[i])
+	errs := b.run(ctx, len(queries), func(eng *Engine, i int) error {
+		res, err := eng.ExecuteGraphQueryContext(ctx, queries[i])
 		if err != nil {
 			return err
 		}
 		results[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return results, errs
 }
 
 // ExecutePathAggQueries runs every path-aggregation query and returns the
 // results in query order.
 func (b *BatchExecutor) ExecutePathAggQueries(queries []*PathAggQuery) ([]*AggResult, error) {
+	results, errs := b.ExecutePathAggQueriesContext(context.Background(), queries)
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ExecutePathAggQueriesContext is ExecuteGraphQueriesContext for
+// path-aggregation queries.
+func (b *BatchExecutor) ExecutePathAggQueriesContext(ctx context.Context, queries []*PathAggQuery) ([]*AggResult, []error) {
 	results := make([]*AggResult, len(queries))
-	err := b.run(len(queries), func(eng *Engine, i int) error {
-		res, err := eng.ExecutePathAggQuery(queries[i])
+	errs := b.run(ctx, len(queries), func(eng *Engine, i int) error {
+		res, err := eng.ExecutePathAggQueryContext(ctx, queries[i])
 		if err != nil {
 			return err
 		}
 		results[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return results, errs
 }
 
-// run executes fn(engine, i) for i in [0, n) across the worker pool. Work
-// is distributed by an atomic cursor, so fast workers take more queries and
-// stragglers never gate the batch; each worker keeps one engine clone (and
-// thereby one scratch) for its whole share of the batch.
-func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
+// firstError collapses per-query errors to the lowest-index failure,
+// wrapped with its query index — what a sequential run would report first.
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// run executes fn(engine, i) for i in [0, n) across the worker pool and
+// returns one error slot per query. Work is distributed by an atomic
+// cursor, so fast workers take more queries and stragglers never gate the
+// batch; each worker keeps one engine clone (and thereby one scratch) for
+// its whole share. Once ctx is cancelled, remaining indexes drain
+// immediately with ctx's error.
+func (b *BatchExecutor) run(ctx context.Context, n int, fn func(eng *Engine, i int) error) []error {
 	if n == 0 {
 		return nil
 	}
@@ -84,6 +118,7 @@ func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
 		m.BatchBatches.Inc()
 		m.BatchQueries.Add(int64(n))
 	}
+	errs := make([]error, n)
 	workers := b.workers
 	if workers > n {
 		workers = n
@@ -94,13 +129,14 @@ func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
 			defer m.BatchWorkersBusy.Add(-1)
 		}
 		for i := 0; i < n; i++ {
-			if err := fn(b.eng, i); err != nil {
-				return fmt.Errorf("query %d: %w", i, err)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
 			}
+			errs[i] = safeCall(b.eng, i, fn)
 		}
-		return nil
+		return errs
 	}
-	errs := make([]error, n)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -117,15 +153,27 @@ func (b *BatchExecutor) run(n int, fn func(eng *Engine, i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(eng, i)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = safeCall(eng, i, fn)
 			}
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("query %d: %w", i, err)
+	return errs
+}
+
+// safeCall runs one query, converting a panic into that query's error so a
+// single bad query cannot take down the whole batch (or leak a worker's
+// goroutine). The engine's locked sections release their read locks via
+// defer, so the relation stays usable after a recovered panic.
+func safeCall(eng *Engine, i int, fn func(eng *Engine, i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("query panicked: %v", p)
 		}
-	}
-	return nil
+	}()
+	return fn(eng, i)
 }

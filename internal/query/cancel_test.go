@@ -1,0 +1,216 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"grove/internal/agg"
+	"grove/internal/graph"
+	"grove/internal/obs"
+)
+
+func TestExecuteGraphQueryContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := newRandomFixture(t, rng, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.eng.ExecuteGraphQueryContext(ctx, NewGraphQuery(f.randomQueryGraph(rng, 3))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The read lock must have been released: a writer must not block.
+	done := make(chan struct{})
+	go func() {
+		f.rel.SetEdgeMeasure(0, 1, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked after cancelled query: read lock leaked")
+	}
+}
+
+func TestPathAggContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := newRandomFixture(t, rng, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := NewPathAggQuery(f.randomQueryGraph(rng, 3), agg.Sum)
+	if _, err := f.eng.ExecutePathAggQueryContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelledTraceSpan: a cancelled query's lifecycle trace must end in a
+// "cancelled" span, so EXPLAIN ANALYZE and the trace ring show why the
+// query produced no answer.
+func TestCancelledTraceSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := newRandomFixture(t, rng, 50)
+	ring := obs.NewTraceRing(8)
+	f.eng.SetTraces(ring)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.eng.ExecuteGraphQueryContext(ctx, NewGraphQuery(f.randomQueryGraph(rng, 3))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	traces := ring.Recent()
+	if len(traces) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	spans := traces[0].Spans
+	if len(spans) == 0 || spans[len(spans)-1].Phase != obs.PhaseCancelled {
+		t.Fatalf("trace spans = %+v, want terminal %q span", spans, obs.PhaseCancelled)
+	}
+}
+
+// TestBatchContextCancelledPromptly: an already-cancelled context fails
+// every query of the batch with context.Canceled without executing any.
+func TestBatchContextCancelledPromptly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := newRandomFixture(t, rng, 100)
+	queries := batchFixtureQueries(f, rng, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		be := NewBatchExecutor(f.eng, workers)
+		start := time.Now()
+		results, errs := be.ExecuteGraphQueriesContext(ctx, queries)
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: cancelled batch took %v", workers, elapsed)
+		}
+		if len(errs) != len(queries) {
+			t.Fatalf("workers=%d: %d error slots, want %d", workers, len(errs), len(queries))
+		}
+		for i, err := range errs {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: query %d err = %v, want context.Canceled", workers, i, err)
+			}
+			if results[i] != nil {
+				t.Fatalf("workers=%d: query %d has a result despite cancellation", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchPanicIsolatedPerQuery: a panicking query surfaces as its own
+// error slot while the rest of the batch completes with real answers, and
+// the relation stays writable afterwards (no leaked read lock).
+func TestBatchPanicIsolatedPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := newRandomFixture(t, rng, 100)
+	panicky := AggFunc{
+		Name:     "BOOM",
+		Identity: 0,
+		Lift:     func(v float64) float64 { return v },
+		Fold:     func(a, b float64) float64 { panic("kernel exploded") },
+	}
+	queries := make([]*PathAggQuery, 12)
+	for i := range queries {
+		fn := agg.Sum
+		if i == 5 {
+			fn = panicky
+		}
+		queries[i] = NewPathAggQuery(f.randomQueryGraph(rng, 3), fn)
+	}
+	for _, workers := range []int{1, 4} {
+		be := NewBatchExecutor(f.eng, workers)
+		results, errs := be.ExecutePathAggQueriesContext(context.Background(), queries)
+		for i := range queries {
+			if i == 5 {
+				if errs[i] == nil || !strings.Contains(errs[i].Error(), "panicked") {
+					t.Fatalf("workers=%d: panicking query err = %v", workers, errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: query %d err = %v", workers, i, errs[i])
+			}
+			if results[i] == nil {
+				t.Fatalf("workers=%d: query %d missing result", workers, i)
+			}
+		}
+	}
+	// The recovered panic must not have leaked the relation read lock.
+	done := make(chan struct{})
+	go func() {
+		f.rel.SetEdgeMeasure(0, 1, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked after recovered panic: read lock leaked")
+	}
+}
+
+// TestBatchContextMatchesPlain: with a background context and no faults the
+// context variant returns exactly what the plain batch API returns.
+func TestBatchContextMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := newRandomFixture(t, rng, 80)
+	queries := batchFixtureQueries(f, rng, 30)
+	be := NewBatchExecutor(f.eng, 4)
+	want, err := be.ExecuteGraphQueries(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := be.ExecuteGraphQueriesContext(context.Background(), queries)
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d err = %v", i, errs[i])
+		}
+		if !got[i].Answer.Equals(want[i].Answer) {
+			t.Fatalf("query %d answers differ", i)
+		}
+	}
+}
+
+// TestBatchErrorQueryKeepsBatchAlive: an invalid (empty) query errors alone;
+// its neighbours still answer. The legacy wrapper keeps reporting the
+// lowest-index error.
+func TestBatchErrorQueryKeepsBatchAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := newRandomFixture(t, rng, 50)
+	queries := batchFixtureQueries(f, rng, 10)
+	queries[3] = &GraphQuery{G: graph.NewGraph()} // empty → error
+	be := NewBatchExecutor(f.eng, 4)
+	results, errs := be.ExecuteGraphQueriesContext(context.Background(), queries)
+	for i := range queries {
+		if i == 3 {
+			if errs[i] == nil {
+				t.Fatal("empty query did not error")
+			}
+			continue
+		}
+		if errs[i] != nil || results[i] == nil {
+			t.Fatalf("query %d err=%v result=%v", i, errs[i], results[i])
+		}
+	}
+	if err := firstError(errs); err == nil || !strings.HasPrefix(err.Error(), "query 3: ") {
+		t.Fatalf("firstError = %v", err)
+	}
+}
+
+// TestPathAggPanicNaNUnaffected guards the panic recovery against false
+// positives: NaN measures and empty answers must not be reported as panics.
+func TestPathAggPanicNaNUnaffected(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := newRandomFixture(t, rng, 30)
+	q := NewPathAggQuery(f.randomQueryGraph(rng, 2), agg.Sum)
+	be := NewBatchExecutor(f.eng, 2)
+	results, errs := be.ExecutePathAggQueriesContext(context.Background(), []*PathAggQuery{q})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	for _, vals := range results[0].Values {
+		for _, v := range vals {
+			_ = math.IsNaN(v) // NaN is a legal NULL marker, not an error
+		}
+	}
+}

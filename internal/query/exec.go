@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,21 @@ func (e *Engine) ioNow() obs.IODelta {
 	}
 }
 
+// checkCtx reports the context's cancellation error, recording a terminal
+// "cancelled" span on the trace when one is attached. The engine calls it
+// between bitmap fetches and between per-path aggregation chunks, so a
+// cancelled query abandons its remaining I/O promptly; work already done is
+// simply discarded (queries are read-only, there is nothing to roll back).
+func (e *Engine) checkCtx(ctx context.Context, tr *obs.ActiveTrace) error {
+	if err := ctx.Err(); err != nil {
+		if tr != nil {
+			tr.Begin(obs.PhaseCancelled, e.ioNow())
+		}
+		return err
+	}
+	return nil
+}
+
 // queryEdgeIDs resolves the structural elements of a query graph to edge
 // ids. Elements unknown to the registry resolve to a sentinel id that has an
 // empty bitmap, so queries referencing never-seen elements return empty
@@ -144,6 +160,15 @@ func (r *Result) NumRecords() int { return r.Answer.Cardinality() }
 // answer — and any cache entry made from it — is consistent with a single
 // relation version even while writers run concurrently.
 func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
+	return e.ExecuteGraphQueryContext(context.Background(), q)
+}
+
+// ExecuteGraphQueryContext is ExecuteGraphQuery with cancellation: the
+// engine checks ctx between bitmap fetches and abandons the query with
+// ctx's error once it is cancelled, recording a "cancelled" span on the
+// trace. The read lock is released on every exit path, including a panic
+// in a kernel (batch workers recover those).
+func (e *Engine) ExecuteGraphQueryContext(ctx context.Context, q *GraphQuery) (*Result, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty graph query")
 	}
@@ -155,9 +180,11 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindGraph, q.String(), e.ioNow())
 	}
-	e.Rel.BeginRead()
-	res, err := e.executeGraphQueryLocked(q, tr)
-	e.Rel.EndRead()
+	res, err := func() (*Result, error) {
+		e.Rel.BeginRead()
+		defer e.Rel.EndRead()
+		return e.executeGraphQueryLocked(ctx, q, tr)
+	}()
 	if tr != nil {
 		e.traces.Add(tr.Finish(e.ioNow()))
 	}
@@ -171,7 +198,7 @@ func (e *Engine) ExecuteGraphQuery(q *GraphQuery) (*Result, error) {
 // already held (BeginRead is not reentrant, so compound executions — path
 // aggregation, boolean expressions — route through this). tr, when non-nil,
 // receives the plan/fetch/intersect lifecycle spans.
-func (e *Engine) executeGraphQueryLocked(q *GraphQuery, tr *obs.ActiveTrace) (*Result, error) {
+func (e *Engine) executeGraphQueryLocked(ctx context.Context, q *GraphQuery, tr *obs.ActiveTrace) (*Result, error) {
 	universe := e.queryEdgeIDs(q.G)
 	// Read under the lock: the version cannot move while we hold it, so the
 	// cache entry written below is tagged with exactly the version whose
@@ -206,23 +233,42 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery, tr *obs.ActiveTrace) (*R
 	}
 	scratch := bmsPool.Get().(*[]*bitmap.Bitmap)
 	bms := (*scratch)[:0]
+	putScratch := func() {
+		for i := range bms {
+			bms[i] = nil
+		}
+		*scratch = bms[:0]
+		bmsPool.Put(scratch)
+	}
 	for _, name := range plan.Views {
+		if err := e.checkCtx(ctx, tr); err != nil {
+			putScratch()
+			return nil, err
+		}
 		b, err := e.Rel.FetchViewBitmap(name)
 		if err != nil {
-			bmsPool.Put(scratch)
+			putScratch()
 			return nil, err
 		}
 		bms = append(bms, b)
 	}
 	for _, name := range plan.AggViews {
+		if err := e.checkCtx(ctx, tr); err != nil {
+			putScratch()
+			return nil, err
+		}
 		b, err := e.Rel.FetchAggViewBitmap(name)
 		if err != nil {
-			bmsPool.Put(scratch)
+			putScratch()
 			return nil, err
 		}
 		bms = append(bms, b)
 	}
 	for _, id := range plan.Edges {
+		if err := e.checkCtx(ctx, tr); err != nil {
+			putScratch()
+			return nil, err
+		}
 		bms = append(bms, e.Rel.FetchEdgeBitmap(id))
 	}
 	if tr != nil {
@@ -231,11 +277,7 @@ func (e *Engine) executeGraphQueryLocked(q *GraphQuery, tr *obs.ActiveTrace) (*R
 	// The conjunction intersects into one fresh destination the caller (and
 	// the cache) owns; the fetched column bitmaps are never mutated.
 	answer := e.Rel.MaskDeleted(bitmap.AndAllInto(bitmap.New(), bms...))
-	for i := range bms {
-		bms[i] = nil // don't pin column bitmaps from the pool
-	}
-	*scratch = bms[:0]
-	bmsPool.Put(scratch)
+	putScratch() // don't pin column bitmaps from the pool
 	if e.cache != nil {
 		e.cache.put(version, key, answer)
 	}
@@ -307,6 +349,12 @@ func (r *Result) FetchMeasures() int64 {
 // returns the combined answer set. The whole expression runs under one read
 // lock, so all leaves see the same relation version.
 func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
+	return e.EvalExprContext(context.Background(), expr)
+}
+
+// EvalExprContext is EvalExpr with cancellation, checked between the
+// leaves' bitmap fetches.
+func (e *Engine) EvalExprContext(ctx context.Context, expr Expr) (*bitmap.Bitmap, error) {
 	var start time.Time
 	if e.metrics != nil {
 		start = time.Now()
@@ -315,9 +363,11 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindExpr, expr.String(), e.ioNow())
 	}
-	e.Rel.BeginRead()
-	b, err := e.evalExprLocked(expr, tr)
-	e.Rel.EndRead()
+	b, err := func() (*bitmap.Bitmap, error) {
+		e.Rel.BeginRead()
+		defer e.Rel.EndRead()
+		return e.evalExprLocked(ctx, expr, tr)
+	}()
 	if tr != nil {
 		e.traces.Add(tr.Finish(e.ioNow()))
 	}
@@ -327,10 +377,10 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 	return b, err
 }
 
-func (e *Engine) evalExprLocked(expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap, error) {
+func (e *Engine) evalExprLocked(ctx context.Context, expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap, error) {
 	switch x := expr.(type) {
 	case Leaf:
-		res, err := e.executeGraphQueryLocked(x.Q, tr)
+		res, err := e.executeGraphQueryLocked(ctx, x.Q, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -339,12 +389,12 @@ func (e *Engine) evalExprLocked(expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap,
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: AND with no operands")
 		}
-		acc, err := e.evalExprLocked(x.Operands[0], tr)
+		acc, err := e.evalExprLocked(ctx, x.Operands[0], tr)
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.evalExprLocked(op, tr)
+			b, err := e.evalExprLocked(ctx, op, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -358,12 +408,12 @@ func (e *Engine) evalExprLocked(expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap,
 		if len(x.Operands) == 0 {
 			return nil, fmt.Errorf("query: OR with no operands")
 		}
-		acc, err := e.evalExprLocked(x.Operands[0], tr)
+		acc, err := e.evalExprLocked(ctx, x.Operands[0], tr)
 		if err != nil {
 			return nil, err
 		}
 		for _, op := range x.Operands[1:] {
-			b, err := e.evalExprLocked(op, tr)
+			b, err := e.evalExprLocked(ctx, op, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -374,11 +424,11 @@ func (e *Engine) evalExprLocked(expr Expr, tr *obs.ActiveTrace) (*bitmap.Bitmap,
 		}
 		return acc, nil
 	case Diff:
-		a, err := e.evalExprLocked(x.A, tr)
+		a, err := e.evalExprLocked(ctx, x.A, tr)
 		if err != nil {
 			return nil, err
 		}
-		b, err := e.evalExprLocked(x.B, tr)
+		b, err := e.evalExprLocked(ctx, x.B, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -492,6 +542,13 @@ func coverPath(rel *colstore.Relation, pathEdges []colstore.EdgeID, funcName, me
 // graph query, then per-record aggregation along every maximal path, folding
 // stored aggregate-view values where the path is covered by views.
 func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
+	return e.ExecutePathAggQueryContext(context.Background(), q)
+}
+
+// ExecutePathAggQueryContext is ExecutePathAggQuery with cancellation: ctx
+// is checked between bitmap fetches of the structural phase and between
+// per-path aggregation chunks.
+func (e *Engine) ExecutePathAggQueryContext(ctx context.Context, q *PathAggQuery) (*AggResult, error) {
 	var start time.Time
 	if e.metrics != nil {
 		start = time.Now()
@@ -500,7 +557,7 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindPathAgg, q.String(), e.ioNow())
 	}
-	res, err := e.executePathAggQuery(q, tr)
+	res, err := e.executePathAggQuery(ctx, q, tr)
 	if tr != nil {
 		e.traces.Add(tr.Finish(e.ioNow()))
 	}
@@ -637,7 +694,7 @@ func foldGathered(k agg.Kernel, vals []float64, sc *pathScratch) (scanned int) {
 // block-at-a-time: per path, every segment column is batch-gathered over the
 // answer set into pooled scratch, then folded column-at-a-time with the
 // aggregate's block kernel.
-func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*AggResult, error) {
+func (e *Engine) executePathAggQuery(ctx context.Context, q *PathAggQuery, tr *obs.ActiveTrace) (*AggResult, error) {
 	if q == nil || q.G == nil || q.G.NumElements() == 0 {
 		return nil, fmt.Errorf("query: empty path aggregation query")
 	}
@@ -648,7 +705,7 @@ func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*Agg
 	// the aggregates are computed over exactly the records the filter saw.
 	e.Rel.BeginRead()
 	defer e.Rel.EndRead()
-	structural, err := e.executeGraphQueryLocked(&GraphQuery{G: q.G}, tr)
+	structural, err := e.executeGraphQueryLocked(ctx, &GraphQuery{G: q.G}, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -761,6 +818,9 @@ func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*Agg
 		// relation read lock held above keeps writers out for the duration.
 		plans := make([][]plannedSeg, len(paths))
 		for pi, p := range paths {
+			if err := e.checkCtx(ctx, tr); err != nil {
+				return nil, err
+			}
 			var counts [2]int
 			plans[pi], counts, err = planPath(nil, p)
 			if err != nil {
@@ -790,6 +850,10 @@ func (e *Engine) executePathAggQuery(q *PathAggQuery, tr *obs.ActiveTrace) (*Agg
 	} else {
 		sc := pathScratchPool.Get().(*pathScratch)
 		for _, p := range paths {
+			if err := e.checkCtx(ctx, tr); err != nil {
+				pathScratchPool.Put(sc)
+				return nil, err
+			}
 			if tr != nil {
 				tr.Begin(obs.PhasePlan, e.ioNow()) // cover the path with agg views
 			}

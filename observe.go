@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"grove/internal/colstore"
 	"grove/internal/obs"
 	"grove/internal/query"
 )
@@ -42,6 +43,8 @@ const (
 	MetricCacheEvictions = "grove_cache_evictions_total"
 
 	MetricViewUses = "grove_view_uses_total"
+
+	MetricPersistRecoveries = "grove_persist_recoveries_total"
 
 	MetricStoreRecords        = "grove_store_records"
 	MetricStoreDeleted        = "grove_store_deleted_records"
@@ -107,6 +110,9 @@ func (s *Store) Metrics() *MetricsRegistry {
 		func() float64 { return float64(s.CacheStats().Misses) })
 	r.CounterFunc(MetricCacheEvictions, "Result cache LRU evictions.",
 		func() float64 { return float64(s.CacheStats().Evictions) })
+
+	r.CounterFunc(MetricPersistRecoveries, "Loads that fell back to an older snapshot generation because the installed one was missing or damaged (process-wide).",
+		func() float64 { return float64(colstore.PersistRecoveries()) })
 
 	r.CounterVecFunc(MetricViewUses, "Times each materialized view answered part of a query.",
 		func() map[string]float64 {
