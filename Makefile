@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-smoke durability check
+.PHONY: build test race lint fuzz-smoke bench bench-smoke durability shard-diff check
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,13 @@ lint:
 # Race-detector gate for the concurrent read path: vet everything, then run
 # the packages that share state across goroutines (engine scratch pool,
 # sharded result cache, relation RWMutex, registry, metrics endpoint, view
-# advisor, graphdb facade, fault-injection FS) plus the root facade.
+# advisor, graphdb facade, fault-injection FS, scatter-gather coordinator)
+# plus the root facade.
 race:
 	$(GO) vet ./...
 	$(GO) test -race . ./internal/query/... ./internal/bitmap/... \
 		./internal/colstore/... ./internal/obs/... ./internal/view/... \
-		./internal/graphdb/... ./internal/fsio/...
+		./internal/graphdb/... ./internal/fsio/... ./internal/shard/...
 
 # Short fuzz pass over every decoder that consumes untrusted bytes: the
 # bitmap wire format, the query parser, the colstore on-disk format, and the
@@ -46,15 +47,27 @@ bench:
 # `go test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 5x`).
 bench-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 1x
+	$(GO) test ./internal/shard/ -run '^$$' -bench Sharded -benchtime 1x
 
 # The durability gate: crash Save at every injected I/O fault (with and
-# without torn writes) and prove Load always recovers a complete snapshot,
-# then exercise recovery, GC, rollback and cancellation paths.
+# without torn writes) and prove Load always recovers a complete snapshot —
+# single-relation and sharded-manifest protocols both — then exercise
+# recovery, GC, rollback and cancellation paths.
 durability:
 	$(GO) test ./internal/colstore/ -run \
 		'TestSaveFaultSweep|TestLoadFallbackRecovery|TestSnapshotGCKeepCount|TestGenerationsInventoryAndRollback|TestConcurrentSaveLoadMutate' -v
+	$(GO) test ./internal/shard/ -run \
+		'TestShardedSaveFaultSweep|TestShardedRepeatedCrashedSavesKeepRollbackCut|TestShardedSaveLoadRoundTrip' -v
 	$(GO) test ./internal/query/ -run 'Cancel|Batch' -v
 	$(GO) test . -run 'TestStoreContextCancelled|TestStoreExecuteBatchContextCancelled|TestStoreBatchPanicIsolated' -v
+
+# The sharding differential gate: the same workloads through 1-shard and
+# N-shard stores must produce bit-identical answers (bitmaps, aggregate
+# values including NaN/signed-zero, scan totals), at the coordinator and at
+# the public API.
+shard-diff:
+	$(GO) test ./internal/shard/ -run 'TestDifferential' -v
+	$(GO) test . -run 'TestShardedPublicDifferential' -v
 
 # The full gate CI runs: vet, lint, build, tests, the durability sweep, then
 # the race-detector pass (which re-vets; harmless and keeps `make race`
@@ -66,4 +79,5 @@ check:
 	$(GO) test ./...
 	$(MAKE) bench-smoke
 	$(MAKE) durability
+	$(MAKE) shard-diff
 	$(MAKE) race

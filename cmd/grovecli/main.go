@@ -20,6 +20,9 @@
 //	grovecli -store /tmp/ny recover                  # inventory snapshot generations
 //	grovecli -store /tmp/ny recover gen-000001       # force-install a generation
 //
+// On a sharded store directory (groveload -shards N), recover lists every
+// shard's generations and marks the cut the SHARDS.json manifest pins.
+//
 // With -metrics ADDR, grovecli serves /metrics (Prometheus text) and /traces
 // (JSON) on ADDR after the command runs, until interrupted.
 //
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"grove"
+	"grove/internal/shard"
 )
 
 func main() {
@@ -145,8 +149,15 @@ func usage() {
 
 // recoverStore lists the store's snapshot generations, or with a generation
 // name argument force-installs that generation as CURRENT. It never loads
-// the store, so it works when the installed snapshot is damaged.
+// the store, so it works when the installed snapshot is damaged. Sharded
+// stores list every shard's generations with the manifest's pinned cut
+// marked; their loadable state is the SHARDS.json manifest, so per-shard
+// force-install is refused.
 func recoverStore(dir string, args []string) {
+	if shard.IsShardedDir(dir) {
+		recoverSharded(dir, args)
+		return
+	}
 	switch len(args) {
 	case 0:
 		infos, err := grove.Generations(dir)
@@ -178,6 +189,41 @@ func recoverStore(dir string, args []string) {
 	}
 }
 
+// recoverSharded inventories every shard's generations, marking the cut the
+// durable SHARDS.json manifest pins (which is what Load reconstructs, even
+// when a crashed save left newer per-shard CURRENT pointers behind).
+func recoverSharded(dir string, args []string) {
+	if len(args) > 0 {
+		fatal(fmt.Errorf("sharded stores recover through the SHARDS.json manifest, which always pins a consistent cross-shard cut; per-shard force-install would tear it"))
+	}
+	dirs, err := shard.ShardDirs(dir)
+	if err != nil {
+		fatal(err)
+	}
+	pinned, err := shard.PinnedGenerations(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %-14s %12s  %-8s %-8s %s\n", "SHARD", "GENERATION", "BYTES", "CURRENT", "PINNED", "STATUS")
+	for i, sd := range dirs {
+		infos, err := grove.Generations(sd)
+		if err != nil {
+			fatal(fmt.Errorf("shard %d: %w", i, err))
+		}
+		for _, info := range infos {
+			cur, pin := "", ""
+			if info.Current {
+				cur = "current"
+			}
+			if info.Name == pinned[i] {
+				pin = "pinned"
+			}
+			fmt.Printf("%-10d %-14s %12d  %-8s %-8s %s\n", i, info.Name, info.SizeBytes, cur, pin, info.Status)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "\nLoad reconstructs the pinned cut; it ignores per-shard CURRENT pointers")
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "grovecli:", err)
 	os.Exit(1)
@@ -186,6 +232,7 @@ func fatal(err error) {
 func info(st *grove.Store) {
 	s := st.Stats()
 	fmt.Printf("records:         %d (%d deleted)\n", s.Records, s.Deleted)
+	fmt.Printf("shards:          %d\n", s.Shards)
 	fmt.Printf("distinct edges:  %d over %d partition(s)\n", s.DistinctEdges, s.Partitions)
 	fmt.Printf("measures:        %d values", s.TotalMeasures)
 	if len(s.MeasureNames) > 0 {

@@ -7,15 +7,16 @@
 //	groveload -out /tmp/ny -records 100000
 //	groveload -out /tmp/gnu -records 50000 -dataset gnu -seed 7
 //	groveload -out /tmp/prod -input traces.jsonl
+//	groveload -out /tmp/big -records 200000 -shards 8   # sharded layout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"grove"
-	"grove/internal/colstore"
 	"grove/internal/workload"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		maxE    = flag.Int("max", 0, "max edges per record (0 = family default)")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		keep    = flag.Int("keep", 0, "snapshot generations to retain on disk (0 = default)")
+		shards  = flag.Int("shards", 1, "shards to partition the store into (1 = flat single-relation layout)")
 	)
 	flag.Parse()
 
@@ -39,8 +41,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "groveload: -shards must be >= 1")
+		os.Exit(2)
+	}
+
 	if *input != "" {
-		importTraces(*input, *out, *keep)
+		importTraces(*input, *out, *keep, *shards)
 		return
 	}
 
@@ -62,23 +69,37 @@ func main() {
 		spec.MaxEdges = *maxE
 	}
 
-	fmt.Fprintf(os.Stderr, "building %s dataset: %d records, %d-edge domain ...\n",
-		spec.Name, spec.NumRecords, spec.EdgeDomain)
+	fmt.Fprintf(os.Stderr, "building %s dataset: %d records, %d-edge domain, %d shard(s) ...\n",
+		spec.Name, spec.NumRecords, spec.EdgeDomain, *shards)
+	spec.KeepRecords = *shards > 1 // sharded saves reroute records through the coordinator
 	ds, err := workload.Build(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)
 	}
-	ds.Rel.SetSnapshotKeep(*keep)
-	if err := ds.Rel.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "groveload:", err)
-		os.Exit(1)
+	if *shards > 1 {
+		st := grove.NewSharded(*shards)
+		for _, rec := range ds.Records {
+			st.Add(rec)
+		}
+		st.Optimize()
+		st.SetSnapshotKeep(*keep)
+		if err := st.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
+	} else {
+		ds.Rel.SetSnapshotKeep(*keep)
+		if err := ds.Rel.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
+		if err := ds.Reg.Save(*out + "/registry.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
 	}
-	if err := ds.Reg.Save(*out + "/registry.json"); err != nil {
-		fmt.Fprintln(os.Stderr, "groveload:", err)
-		os.Exit(1)
-	}
-	sz, err := colstore.DiskSizeBytes(*out)
+	sz, err := diskSize(*out)
 	if err != nil {
 		sz = -1
 	}
@@ -86,14 +107,32 @@ func main() {
 	fmt.Printf("saved to %s (%.2f MB on disk)\n", *out, float64(sz)/(1<<20))
 }
 
-func importTraces(input, out string, keep int) {
+// diskSize totals every file under dir — unlike colstore.DiskSizeBytes it
+// also covers the sharded layout's nested shard-NNN directories.
+func diskSize(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
+
+func importTraces(input, out string, keep, shards int) {
 	f, err := os.Open(input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	st := grove.Open()
+	st := grove.NewSharded(shards)
 	n, err := st.ImportTraces(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"grove/internal/bitmap"
@@ -37,6 +38,7 @@ import (
 	"grove/internal/gpath"
 	"grove/internal/graph"
 	"grove/internal/query"
+	"grove/internal/shard"
 	"grove/internal/view"
 )
 
@@ -92,11 +94,21 @@ func FlattenSequence(stops []string, legMeasures []float64) (*Record, error) {
 
 // Store is a collection of graph records with bitmap indexes and
 // materialized graph views. Queries and mutations may run concurrently:
-// the underlying relation takes its write lock inside every mutator and
+// each shard's relation takes its write lock inside every mutator and
 // queries hold its read lock for their whole execution, so answers are
 // always consistent with a single store version. For parallel batches use
 // ExecuteBatch / AggregateBatch (see DESIGN.md, "Concurrency model").
+//
+// A store opened with Open has one shard; NewSharded partitions the records
+// across N shards so writes on different shards proceed concurrently and
+// every query scatter-gathers across the shards in parallel (DESIGN.md §12).
+// Answers are bit-identical regardless of the shard count.
 type Store struct {
+	coord *shard.Coordinator
+
+	// rel and eng are shard 0's relation and engine — the whole store when
+	// NumShards() == 1, and the plan/advisor representative otherwise
+	// (shards share the schema and views, so shard 0's plans stand for all).
 	rel *colstore.Relation
 	reg *graph.Registry
 	eng *query.Engine
@@ -104,6 +116,11 @@ type Store struct {
 	// metrics is created lazily by Metrics (observe.go); nil until then, and
 	// the query path pays nothing while it is.
 	metrics *MetricsRegistry
+}
+
+// newStore wraps a coordinator as a Store.
+func newStore(c *shard.Coordinator) *Store {
+	return &Store{coord: c, rel: c.Unit(0).Rel, reg: c.Registry(), eng: c.Unit(0).Eng}
 }
 
 // Option configures Open.
@@ -119,21 +136,39 @@ func WithPartitionWidth(w int) Option {
 	return func(o *options) { o.partitionWidth = w }
 }
 
-// Open creates an empty store.
+// Open creates an empty single-shard store.
 func Open(opts ...Option) *Store {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	rel := colstore.NewRelation(o.partitionWidth)
-	reg := graph.NewRegistry()
-	return &Store{rel: rel, reg: reg, eng: query.NewEngine(rel, reg)}
+	return newStore(shard.New(1, o.partitionWidth))
 }
 
+// NewSharded creates an empty store partitioned into n shards (n < 1 selects
+// runtime.GOMAXPROCS(0)). Records are placed round-robin, so the global
+// record ids a sequentially-loaded store assigns do not depend on n, and
+// every query answer is bit-identical to a single-shard store's. n = 1 is
+// exactly Open.
+func NewSharded(n int, opts ...Option) *Store {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return newStore(shard.New(n, o.partitionWidth))
+}
+
+// NumShards returns the store's shard count (1 unless built by NewSharded).
+func (s *Store) NumShards() int { return s.coord.NumShards() }
+
 // Add appends a record, returning its record id. Cyclic records are
-// flattened to DAGs first.
+// flattened to DAGs first. Concurrent Adds landing on different shards of a
+// sharded store proceed in parallel.
 func (s *Store) Add(rec *Record) uint32 {
-	return graph.LoadRecord(s.rel, s.reg, rec)
+	return s.coord.Add(rec)
 }
 
 // GetRecord reconstructs a stored record from the master relation's columns:
@@ -141,21 +176,26 @@ func (s *Store) Add(rec *Record) uint32 {
 // and named) from the measure columns. Aliased nodes from DAG flattening
 // (A#2) appear under their aliases.
 func (s *Store) GetRecord(id uint32) (*Record, error) {
-	s.rel.BeginRead()
-	defer s.rel.EndRead()
-	if int(id) >= s.rel.NumRecords() {
-		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.rel.NumRecords())
+	u, local, err := s.coord.Locate(id)
+	if err != nil {
+		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.coord.NumRecords())
+	}
+	rel := u.Rel
+	rel.BeginRead()
+	defer rel.EndRead()
+	if int(local) >= rel.NumRecords() {
+		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.coord.NumRecords())
 	}
 	rec := graph.NewRecord()
-	names := s.rel.MeasureNames()
+	names := rel.MeasureNames()
 	for eid := colstore.EdgeID(0); int(eid) < s.reg.Len(); eid++ {
-		b := s.rel.EdgeBitmap(eid)
-		if b == nil || !b.Contains(id) {
+		b := rel.EdgeBitmap(eid)
+		if b == nil || !b.Contains(local) {
 			continue
 		}
 		k, _ := s.reg.Key(eid)
-		if col := s.rel.MeasureColumn(eid); col != nil {
-			if v, ok := col.Get(id); ok {
+		if col := rel.MeasureColumn(eid); col != nil {
+			if v, ok := col.Get(local); ok {
 				if err := rec.SetElement(k, v); err != nil {
 					return nil, err
 				}
@@ -166,8 +206,8 @@ func (s *Store) GetRecord(id uint32) (*Record, error) {
 			rec.AddBareElement(k)
 		}
 		for _, name := range names {
-			if col := s.rel.MeasureColumnNamed(eid, name); col != nil {
-				if v, ok := col.Get(id); ok {
+			if col := rel.MeasureColumnNamed(eid, name); col != nil {
+				if v, ok := col.Get(local); ok {
 					if err := rec.SetElementNamed(k, name, v); err != nil {
 						return nil, err
 					}
@@ -187,24 +227,26 @@ func WriteDOT(w io.Writer, name string, g *Graph, rec *Record) error {
 // Delete soft-deletes a record: it disappears from every subsequent query
 // answer (the columns keep its values; the record id is masked out). Returns
 // whether the record was live.
-func (s *Store) Delete(rec uint32) (bool, error) { return s.rel.Delete(rec) }
+func (s *Store) Delete(rec uint32) (bool, error) { return s.coord.Delete(rec) }
 
 // Undelete restores a soft-deleted record.
-func (s *Store) Undelete(rec uint32) bool { return s.rel.Undelete(rec) }
+func (s *Store) Undelete(rec uint32) bool { return s.coord.Undelete(rec) }
 
-// NumDeleted returns the number of soft-deleted records.
-func (s *Store) NumDeleted() int { return s.rel.NumDeleted() }
+// NumDeleted returns the number of soft-deleted records across all shards.
+func (s *Store) NumDeleted() int { return s.coord.NumDeleted() }
 
-// NumRecords returns the number of stored records.
-func (s *Store) NumRecords() int { return s.rel.NumRecords() }
+// NumRecords returns the number of stored records across all shards.
+func (s *Store) NumRecords() int { return s.coord.NumRecords() }
 
 // NumEdges returns the size of the edge-id universe seen so far.
 func (s *Store) NumEdges() int { return s.reg.Len() }
 
-// SizeBytes returns the in-memory payload size (base columns + views).
-func (s *Store) SizeBytes() int64 { return s.rel.SizeBytes() }
+// SizeBytes returns the in-memory payload size (base columns + views) summed
+// across all shards.
+func (s *Store) SizeBytes() int64 { return s.coord.SizeBytes() }
 
-// StoreStats summarizes a store, Table 2 style.
+// StoreStats summarizes a store, Table 2 style. All counts and sizes
+// aggregate across every shard of a sharded store.
 type StoreStats struct {
 	Records        int
 	Deleted        int
@@ -216,60 +258,62 @@ type StoreStats struct {
 	GraphViews     int
 	AggregateViews int
 	Partitions     int
+	Shards         int
 	TagKeys        []string
 }
 
-// Stats returns the store's summary statistics.
+// Stats returns the store's summary statistics, aggregated across shards.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
-		Records:        s.rel.NumRecords(),
-		Deleted:        s.rel.NumDeleted(),
+		Records:        s.coord.NumRecords(),
+		Deleted:        s.coord.NumDeleted(),
 		DistinctEdges:  s.reg.Len(),
-		TotalMeasures:  s.rel.TotalMeasures(),
-		MeasureNames:   s.rel.MeasureNames(),
-		BaseSizeBytes:  s.rel.BaseSizeBytes(),
-		ViewSizeBytes:  s.rel.ViewSizeBytes(),
+		TotalMeasures:  s.coord.TotalMeasures(),
+		MeasureNames:   s.coord.MeasureNames(),
+		BaseSizeBytes:  s.coord.BaseSizeBytes(),
+		ViewSizeBytes:  s.coord.ViewSizeBytes(),
 		GraphViews:     len(s.rel.Views()),
 		AggregateViews: len(s.rel.AggViews()),
-		Partitions:     s.rel.NumPartitions(),
-		TagKeys:        s.rel.TagKeys(),
+		Partitions:     s.coord.MaxPartitions(),
+		Shards:         s.coord.NumShards(),
+		TagKeys:        s.coord.TagKeys(),
 	}
 }
 
-// Optimize recompresses all bitmap columns; call after bulk loading.
-func (s *Store) Optimize() { s.rel.RunOptimize() }
+// Optimize recompresses all bitmap columns on every shard; call after bulk
+// loading.
+func (s *Store) Optimize() { s.coord.Optimize() }
 
 // SetUseViews toggles view-aware query rewriting (on by default).
-func (s *Store) SetUseViews(use bool) { s.eng.UseViews = use }
+func (s *Store) SetUseViews(use bool) { s.coord.SetUseViews(use) }
 
 // SetParallelPaths toggles concurrent per-path aggregation for multi-path
 // aggregation queries (off by default). Answers are identical to the
 // sequential path; it only engages while query tracing is disabled, since a
 // lifecycle trace records per-path phase spans in order.
-func (s *Store) SetParallelPaths(on bool) { s.eng.ParallelPaths = on }
+func (s *Store) SetParallelPaths(on bool) { s.coord.SetParallelPaths(on) }
 
 // EnableResultCache attaches a bounded structural-answer cache to the store
-// (capacity ≤ 0 selects a default). Any mutation — Add, Delete, Tag, view
-// materialization — invalidates it wholesale, so cached answers are always
-// exact. Pass enable=false to detach.
+// (capacity ≤ 0 selects a default; a sharded store splits the capacity
+// across per-shard caches). A mutation invalidates only the mutated shard's
+// slice, so cached answers are always exact. Pass enable=false to detach.
 func (s *Store) EnableResultCache(enable bool, capacity int) {
-	if enable {
-		s.eng.EnableCache(query.NewResultCache(capacity))
-	} else {
-		s.eng.EnableCache(nil)
-	}
+	s.coord.EnableCache(enable, capacity)
 }
 
-// Match answers a graph query: the records containing the query graph.
+// Match answers a graph query: the records containing the query graph. On a
+// sharded store the query fans out across every shard in parallel and the
+// answer is the union of the per-shard answers.
 func (s *Store) Match(g *Graph) (*Result, error) {
-	return s.eng.ExecuteGraphQuery(query.NewGraphQuery(g))
+	return s.MatchContext(context.Background(), g)
 }
 
 // MatchContext is Match with cancellation: the engine checks ctx between
 // bitmap fetches and abandons the query with ctx's error once cancelled
-// (recorded as a "cancelled" span when tracing is on).
+// (recorded as a "cancelled" span when tracing is on). On a sharded store a
+// cancellation promptly abandons every shard's sub-query.
 func (s *Store) MatchContext(ctx context.Context, g *Graph) (*Result, error) {
-	return s.eng.ExecuteGraphQueryContext(ctx, query.NewGraphQuery(g))
+	return s.coord.MatchContext(ctx, query.NewGraphQuery(g))
 }
 
 // MatchPath answers a single-path graph query over the given nodes.
@@ -287,11 +331,22 @@ func (s *Store) MatchPath(nodes ...string) (*Result, error) {
 // The paper's experiments all evaluate batches of 100 queries — this is
 // the parallel path for that shape of workload.
 func (s *Store) ExecuteBatch(graphs []*Graph, workers int) ([]*Result, error) {
-	queries := make([]*query.GraphQuery, len(graphs))
-	for i, g := range graphs {
-		queries[i] = query.NewGraphQuery(g)
+	results, errs := s.ExecuteBatchContext(context.Background(), graphs, workers)
+	if err := firstBatchError(errs); err != nil {
+		return nil, err
 	}
-	return query.NewBatchExecutor(s.eng, workers).ExecuteGraphQueries(queries)
+	return results, nil
+}
+
+// firstBatchError mirrors the batch executor's error policy: the first
+// failing query aborts the batch result, labelled with its index.
+func firstBatchError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // ExecuteBatchContext is ExecuteBatch with cancellation and per-query
@@ -304,18 +359,18 @@ func (s *Store) ExecuteBatchContext(ctx context.Context, graphs []*Graph, worker
 	for i, g := range graphs {
 		queries[i] = query.NewGraphQuery(g)
 	}
-	return query.NewBatchExecutor(s.eng, workers).ExecuteGraphQueriesContext(ctx, queries)
+	return s.coord.ExecuteGraphBatchContext(ctx, queries, workers)
 }
 
 // AggregateBatch answers a batch of path-aggregation queries (f folded along
 // every maximal path of each graph) across a worker pool, with the same
 // ordering and determinism guarantees as ExecuteBatch.
 func (s *Store) AggregateBatch(graphs []*Graph, f AggFunc, workers int) ([]*AggResult, error) {
-	queries := make([]*query.PathAggQuery, len(graphs))
-	for i, g := range graphs {
-		queries[i] = query.NewPathAggQuery(g, f)
+	results, errs := s.AggregateBatchContext(context.Background(), graphs, f, workers)
+	if err := firstBatchError(errs); err != nil {
+		return nil, err
 	}
-	return query.NewBatchExecutor(s.eng, workers).ExecutePathAggQueries(queries)
+	return results, nil
 }
 
 // AggregateBatchContext is AggregateBatch with cancellation and per-query
@@ -325,19 +380,19 @@ func (s *Store) AggregateBatchContext(ctx context.Context, graphs []*Graph, f Ag
 	for i, g := range graphs {
 		queries[i] = query.NewPathAggQuery(g, f)
 	}
-	return query.NewBatchExecutor(s.eng, workers).ExecutePathAggQueriesContext(ctx, queries)
+	return s.coord.ExecutePathAggBatchContext(ctx, queries, workers)
 }
 
 // Aggregate answers a path-aggregation query: it matches g and folds f along
 // every maximal path of g for every matching record.
 func (s *Store) Aggregate(g *Graph, f AggFunc) (*AggResult, error) {
-	return s.eng.ExecutePathAggQuery(query.NewPathAggQuery(g, f))
+	return s.AggregateContext(context.Background(), g, f)
 }
 
 // AggregateContext is Aggregate with cancellation, checked between bitmap
 // fetches and between per-path aggregation chunks.
 func (s *Store) AggregateContext(ctx context.Context, g *Graph, f AggFunc) (*AggResult, error) {
-	return s.eng.ExecutePathAggQueryContext(ctx, query.NewPathAggQuery(g, f))
+	return s.coord.AggregateContext(ctx, query.NewPathAggQuery(g, f))
 }
 
 // AggregatePath aggregates f along the single path over the given nodes.
@@ -352,7 +407,7 @@ func (s *Store) AggregatePath(f AggFunc, nodes ...string) (*AggResult, error) {
 // instead of the default measure when records carry several measures per
 // element (§3.1).
 func (s *Store) AggregateMeasure(g *Graph, f AggFunc, measure string) (*AggResult, error) {
-	return s.eng.ExecutePathAggQuery(query.NewPathAggQueryOn(g, f, measure))
+	return s.coord.AggregateContext(context.Background(), query.NewPathAggQueryOn(g, f, measure))
 }
 
 // AggregatePathMeasure aggregates a named measure along a single path.
@@ -371,12 +426,12 @@ func (s *Store) AggregateAlong(f AggFunc, p Path, measure string) (*AggResult, e
 	if len(p.Nodes) < 2 {
 		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
 	}
-	return s.eng.ExecutePathAggQuery(query.NewPathAggQueryAlong(p, f, measure))
+	return s.coord.AggregateContext(context.Background(), query.NewPathAggQueryAlong(p, f, measure))
 }
 
-// MeasureNames lists the named measures stored (the default measure is
-// always present and unnamed).
-func (s *Store) MeasureNames() []string { return s.rel.MeasureNames() }
+// MeasureNames lists the named measures stored across all shards (the
+// default measure is always present and unnamed).
+func (s *Store) MeasureNames() []string { return s.coord.MeasureNames() }
 
 // Expr is a boolean combination of graph queries.
 type Expr = query.Expr
@@ -397,8 +452,12 @@ func Or(operands ...Expr) Expr { return query.Or{Operands: operands} }
 func AndNot(a, b Expr) Expr { return query.Diff{A: a, B: b} }
 
 // Eval evaluates a boolean combination of graph queries, returning the
-// matching record ids.
-func (s *Store) Eval(e Expr) (*Bitmap, error) { return s.eng.EvalExpr(e) }
+// matching record ids. Boolean operators distribute over the disjoint shard
+// partition, so a sharded store evaluates the whole expression on every
+// shard in parallel and unions the answers.
+func (s *Store) Eval(e Expr) (*Bitmap, error) {
+	return s.coord.EvalExprContext(context.Background(), e)
+}
 
 // LeafGraphs returns the query graphs at the leaves of a boolean expression,
 // in syntactic order — the unit a view-advisor workload is built from.
@@ -479,7 +538,7 @@ type QueryResult struct {
 //
 // Keywords are case-insensitive; parentheses group.
 func (s *Store) Query(text string) (*QueryResult, error) {
-	res, err := s.eng.ExecuteStatement(text)
+	res, err := s.coord.ExecuteStatementContext(context.Background(), text)
 	if err != nil {
 		return nil, err
 	}
@@ -515,12 +574,12 @@ func Coalesce(g, region *Graph, aggNode string) (*Graph, error) {
 // sub-orders, carries order types, etc.). Tags are indexed as bitmap columns,
 // so they combine with structural answers at bitmap speed.
 func (s *Store) Tag(rec uint32, key, value string) error {
-	return s.rel.Tag(rec, key, value)
+	return s.coord.Tag(rec, key, value)
 }
 
-// TaggedWith returns the records tagged key=value.
+// TaggedWith returns the records tagged key=value, across all shards.
 func (s *Store) TaggedWith(key, value string) *Bitmap {
-	return s.rel.FetchTagBitmap(key, value)
+	return s.coord.TaggedWith(key, value)
 }
 
 // MatchTagged answers a graph query restricted to records carrying all the
@@ -531,10 +590,8 @@ func (s *Store) MatchTagged(g *Graph, tags map[string]string) (*Bitmap, error) {
 		return nil, err
 	}
 	answer := res.Answer
-	s.rel.BeginRead()
-	defer s.rel.EndRead()
 	for k, v := range tags {
-		answer = answer.And(s.rel.FetchTagBitmap(k, v))
+		answer = answer.And(s.coord.TaggedWith(k, v))
 	}
 	return answer, nil
 }
@@ -580,23 +637,23 @@ func (s *Store) RenderAdvice(w io.Writer, rep AdvisorReport) error {
 }
 
 // MaterializeGraphViews selects (greedy set cover over the workload) and
-// materializes up to k graph views, returning their names.
+// materializes up to k graph views, returning their names. View selection is
+// purely workload-driven, so a sharded store selects once and materializes
+// the same views on every shard.
 func (s *Store) MaterializeGraphViews(workload []*Graph, k int, opts AdvisorOptions) ([]string, error) {
-	adv := &view.Advisor{Rel: s.rel, Reg: s.reg, MinSup: opts.MinSup}
-	return adv.MaterializeGraphViews(workload, k)
+	return s.coord.MaterializeGraphViews(workload, k, opts.MinSup)
 }
 
 // MaterializeAggViews selects and materializes up to k aggregate graph views
 // for aggregate function f, returning their names.
 func (s *Store) MaterializeAggViews(workload []*Graph, f AggFunc, k int, opts AdvisorOptions) ([]string, error) {
-	adv := &view.Advisor{Rel: s.rel, Reg: s.reg, MinSup: opts.MinSup}
-	return adv.MaterializeAggViews(workload, f, k)
+	return s.coord.MaterializeAggViews(workload, f, k, opts.MinSup)
 }
 
-// MaterializeView materializes one graph view over the given edges by name.
+// MaterializeView materializes one graph view over the given edges by name
+// (on every shard of a sharded store).
 func (s *Store) MaterializeView(name string, g *Graph) error {
-	_, err := s.rel.MaterializeView(name, s.reg.GraphIDs(g))
-	return err
+	return s.coord.MaterializeView(name, s.reg.GraphIDs(g))
 }
 
 // MaterializeAggViewPath materializes one aggregate view for f along the
@@ -613,8 +670,7 @@ func (s *Store) MaterializeAggViewPathMeasure(name string, f AggFunc, measure st
 	for _, k := range p.Edges() {
 		edges = append(edges, s.reg.ID(k))
 	}
-	_, err := s.rel.MaterializeAggViewOn(name, edges, f, measure)
-	return err
+	return s.coord.MaterializeAggViewOn(name, edges, f, measure)
 }
 
 // ClusterColumns recomputes the vertical-partition assignment of the master
@@ -626,12 +682,11 @@ func (s *Store) ClusterColumns(workload []*Graph) error {
 	for i, g := range workload {
 		queries[i] = s.reg.GraphIDs(g)
 	}
-	_, err := s.rel.ClusterPartitions(queries)
-	return err
+	return s.coord.ClusterPartitions(queries)
 }
 
-// DropAllViews removes every materialized view.
-func (s *Store) DropAllViews() { s.rel.DropAllViews() }
+// DropAllViews removes every materialized view on every shard.
+func (s *Store) DropAllViews() { s.coord.DropAllViews() }
 
 // ViewNames lists materialized graph views.
 func (s *Store) ViewNames() []string {
@@ -662,7 +717,14 @@ func (s *Store) AggViewNames() []string {
 // so a newer registry next to an older relation snapshot is harmless,
 // while the reverse could leave relation columns whose edge ids the
 // registry cannot name.
+// A sharded store saves one generational snapshot store per shard plus a
+// SHARDS.json manifest, committed last, that pins the exact cross-shard
+// generation cut (DESIGN.md §12); a single-shard store keeps the layout
+// above, so every store written by earlier versions round-trips unchanged.
 func (s *Store) Save(dir string) error {
+	if s.coord.NumShards() > 1 {
+		return s.coord.Save(dir)
+	}
 	if err := fsio.OS().MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("grove: save: %w", err)
 	}
@@ -677,7 +739,7 @@ func (s *Store) Save(dir string) error {
 // resets to the default of colstore.DefaultSnapshotKeep. Keeping at least
 // two means Load can fall back to the previous generation if the newest is
 // damaged.
-func (s *Store) SetSnapshotKeep(n int) { s.rel.SetSnapshotKeep(n) }
+func (s *Store) SetSnapshotKeep(n int) { s.coord.SetSnapshotKeep(n) }
 
 // GenerationInfo describes one on-disk snapshot generation of a saved
 // store, as reported by Generations.
@@ -698,8 +760,18 @@ func CurrentGeneration(dir string) string { return colstore.CurrentGeneration(di
 // whose newest generation is unloadable can be rolled back without loading.
 func Rollback(dir, gen string) error { return colstore.Rollback(dir, gen) }
 
-// LoadStore reads a store previously written with Save.
+// LoadStore reads a store previously written with Save, detecting the
+// layout: a SHARDS.json manifest marks a sharded store (loaded at its
+// committed cross-shard generation cut), anything else loads as the
+// single-shard layout.
 func LoadStore(dir string) (*Store, error) {
+	if shard.IsShardedDir(dir) {
+		coord, err := shard.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		return newStore(coord), nil
+	}
 	rel, err := colstore.Load(dir)
 	if err != nil {
 		return nil, err
@@ -708,11 +780,12 @@ func LoadStore(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{rel: rel, reg: reg, eng: query.NewEngine(rel, reg)}, nil
+	return newStore(shard.NewFromRelations([]*colstore.Relation{rel}, reg)), nil
 }
 
-// ResetIOStats zeroes the I/O accounting counters.
-func (s *Store) ResetIOStats() { s.rel.Tracker().Reset() }
+// ResetIOStats zeroes the I/O accounting counters on every shard.
+func (s *Store) ResetIOStats() { s.coord.ResetIOStats() }
 
-// IOStatsSnapshot returns the current I/O accounting counters.
-func (s *Store) IOStatsSnapshot() IOStats { return s.rel.Tracker().Snapshot() }
+// IOStatsSnapshot returns the current I/O accounting counters, summed
+// across all shards.
+func (s *Store) IOStatsSnapshot() IOStats { return s.coord.IOStats() }

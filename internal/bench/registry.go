@@ -28,6 +28,7 @@ func Registry() []Experiment {
 		{"fig10", "gIndex fragments vs graph views (Fig. 10)", Fig10},
 		{"fig11", "gIndex fragments vs aggregate views (Fig. 11)", Fig11},
 		{"batch", "Parallel batch execution vs sequential (tentpole)", ExpBatch},
+		{"shard", "Sharded scatter-gather: concurrent writes and query fan-out (tentpole)", ExpShard},
 		{"measurescan", "Vectorized measure-scan kernels vs scalar lookups (tentpole)", ExpMeasureScan},
 		{"obs", "Observability overhead: metrics and tracing vs off", ExpObs},
 		{"extcluster", "Extension: workload-driven column clustering (§6.1)", ExtCluster},

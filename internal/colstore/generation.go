@@ -212,9 +212,12 @@ func Rollback(dir, gen string) error {
 }
 
 // gcGenerations removes generations beyond the keep-count, never touching
-// the one CURRENT points at. Failures are returned but the snapshot the
-// caller just installed is already durable.
-func gcGenerations(fs fsio.FS, dir string, keep int, current string) error {
+// the one CURRENT points at nor the protected one (the generation a sharded
+// coordinator's durable manifest still pins — collecting it would destroy
+// the cross-shard cut a crashed coordinated save must roll back to).
+// Failures are returned but the snapshot the caller just installed is
+// already durable.
+func gcGenerations(fs fsio.FS, dir string, keep int, current, protect string) error {
 	if keep < 1 {
 		keep = 1
 	}
@@ -225,7 +228,7 @@ func gcGenerations(fs fsio.FS, dir string, keep int, current string) error {
 	gens := gensFromEntries(ents)
 	kept := 0
 	for _, g := range gens {
-		if g == current || kept < keep {
+		if g == current || (protect != "" && g == protect) || kept < keep {
 			kept++
 			continue
 		}

@@ -82,21 +82,29 @@ func (r *Relation) Save(dir string) error { return r.SaveFS(fsio.OS(), dir) }
 // the snapshot bytes are written, so concurrent queries proceed throughout
 // and writers wait only for that phase.
 func (r *Relation) SaveFS(fs fsio.FS, dir string) error {
+	_, err := r.SaveFSGen(fs, dir)
+	return err
+}
+
+// SaveFSGen is SaveFS reporting the name of the generation it installed. The
+// sharded coordinator records that name in its cross-shard manifest so Load
+// can pin every shard to one consistent generation cut.
+func (r *Relation) SaveFSGen(fs fsio.FS, dir string) (string, error) {
 	r.saveMu.Lock()
 	defer r.saveMu.Unlock()
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	ents, err := fs.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	next := uint64(1)
 	for _, ent := range ents {
 		if ent.IsDir() && strings.HasPrefix(ent.Name(), tmpPrefix) {
 			// Debris of a save that crashed before installing.
 			if err := fs.RemoveAll(filepath.Join(dir, ent.Name())); err != nil {
-				return fmt.Errorf("colstore: save: clear stale %s: %w", ent.Name(), err)
+				return "", fmt.Errorf("colstore: save: clear stale %s: %w", ent.Name(), err)
 			}
 			continue
 		}
@@ -107,11 +115,11 @@ func (r *Relation) SaveFS(fs fsio.FS, dir string) error {
 	gen := genDirName(next)
 	tmp := filepath.Join(dir, tmpPrefix+gen)
 	if err := fs.MkdirAll(tmp, 0o755); err != nil {
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	if err := r.writeSnapshot(fs, tmp); err != nil {
 		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the write error is already being returned
-		return err
+		return "", err
 	}
 	// The snapshot's files are synced; sync its directory so the files'
 	// names are durable, rename the whole directory into place, and sync
@@ -120,19 +128,30 @@ func (r *Relation) SaveFS(fs fsio.FS, dir string) error {
 	// complete generation.
 	if err := fs.SyncDir(tmp); err != nil {
 		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the sync error is already being returned
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	if err := fs.Rename(tmp, filepath.Join(dir, gen)); err != nil {
 		fs.RemoveAll(tmp) //grovevet:ignore droppederr best-effort cleanup; the rename error is already being returned
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	if err := fs.SyncDir(dir); err != nil {
-		return fmt.Errorf("colstore: save: %w", err)
+		return "", fmt.Errorf("colstore: save: %w", err)
 	}
 	if err := installCurrent(fs, dir, gen); err != nil {
-		return err
+		return "", err
 	}
-	return gcGenerations(fs, dir, r.snapshotKeep(), gen)
+	return gen, gcGenerations(fs, dir, r.snapshotKeep(), gen, r.gcProtectName())
+}
+
+// LoadGenerationFS loads one specific snapshot generation of dir, ignoring
+// the CURRENT pointer. The sharded coordinator uses it to pin each shard to
+// the generation its cross-shard manifest recorded — following the per-shard
+// CURRENT could mix generations from different coordinated saves.
+func LoadGenerationFS(fs fsio.FS, dir, gen string) (*Relation, error) {
+	if _, ok := parseGenName(gen); !ok {
+		return nil, fmt.Errorf("colstore: load: %q is not a generation name", gen)
+	}
+	return loadSnapshot(fs, filepath.Join(dir, gen))
 }
 
 // writeSnapshot writes one complete snapshot — data.bin then manifest.json,

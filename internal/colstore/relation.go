@@ -89,6 +89,11 @@ type Relation struct {
 	// snapKeep is how many snapshot generations Save retains (0 selects
 	// DefaultSnapshotKeep). Atomic so SetSnapshotKeep needs no lock.
 	snapKeep atomic.Int32
+	// gcProtect names one generation snapshot GC must never collect: the one
+	// a sharded coordinator's durable cross-shard manifest still pins. Nil
+	// means no pin. Atomic so the coordinator can repoint it without holding
+	// saveMu.
+	gcProtect atomic.Pointer[string]
 }
 
 // DefaultSnapshotKeep is how many snapshot generations Save retains on
@@ -111,6 +116,24 @@ func (r *Relation) snapshotKeep() int {
 		return int(v)
 	}
 	return DefaultSnapshotKeep
+}
+
+// SetGCProtect pins gen against snapshot garbage collection ("" unpins).
+// The sharded coordinator pins the generation its durable manifest names, so
+// repeated crashed coordinated saves can never GC the cut Load rolls back to.
+func (r *Relation) SetGCProtect(gen string) {
+	if gen == "" {
+		r.gcProtect.Store(nil)
+		return
+	}
+	r.gcProtect.Store(&gen)
+}
+
+func (r *Relation) gcProtectName() string {
+	if p := r.gcProtect.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // NewRelation creates an empty master relation with the given vertical

@@ -3,7 +3,6 @@ package graph
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 
 	"grove/internal/colstore"
@@ -88,7 +87,11 @@ func (r *Registry) GraphIDs(g *Graph) []colstore.EdgeID {
 }
 
 // Save writes the registry to path as JSON.
-func (r *Registry) Save(path string) error {
+func (r *Registry) Save(path string) error { return r.SaveFS(fsio.OS(), path) }
+
+// SaveFS is Save against an explicit filesystem, so the fault-injection
+// tests can crash a coordinated save inside the registry write too.
+func (r *Registry) SaveFS(fs fsio.FS, path string) error {
 	type entry struct {
 		From string `json:"from"`
 		To   string `json:"to"`
@@ -105,12 +108,17 @@ func (r *Registry) Save(path string) error {
 	}
 	// Durable and atomic (temp + fsync + rename): a crash mid-save must not
 	// leave a truncated registry next to an intact relation snapshot.
-	return fsio.WriteFileAtomic(fsio.OS(), path, b)
+	return fsio.WriteFileAtomic(fs, path, b)
 }
 
 // LoadRegistry reads a registry written by Save.
 func LoadRegistry(path string) (*Registry, error) {
-	b, err := os.ReadFile(path)
+	return LoadRegistryFS(fsio.OS(), path)
+}
+
+// LoadRegistryFS is LoadRegistry against an explicit filesystem.
+func LoadRegistryFS(fs fsio.FS, path string) (*Registry, error) {
+	b, err := fsio.ReadFile(fs, path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: load registry: %w", err)
 	}

@@ -144,6 +144,12 @@ type Result struct {
 	Plan   CoverPlan
 	Answer *bitmap.Bitmap
 
+	// Subs holds the per-shard sub-results of a scatter-gathered query (nil
+	// for a single-relation execution). Answer is then the offset-translated
+	// union of the sub-answers, and FetchMeasures delegates to the subs —
+	// each record's measures live in exactly one shard.
+	Subs []*Result
+
 	eng    *Engine
 	cached bool
 }
@@ -301,6 +307,15 @@ var sumReduce = agg.KernelFor(agg.Sum).Reduce
 // record reassembly joins (§6.1). It returns the number of measure values
 // read.
 func (r *Result) FetchMeasures() int64 {
+	if len(r.Subs) > 0 {
+		// Scatter-gathered result: every answer record lives in exactly one
+		// shard, so the per-shard fetches sum to the single-store total.
+		var total int64
+		for _, sub := range r.Subs {
+			total += sub.FetchMeasures()
+		}
+		return total
+	}
 	if r.Answer.IsEmpty() {
 		return 0 // nothing qualified; no measure columns are read
 	}

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"grove/internal/gpath"
+	"grove/internal/graph"
+	"grove/internal/query"
+)
+
+// benchCoordinator builds an n-shard coordinator holding count path records
+// over a small edge universe, plus a mixed query batch.
+func benchCoordinator(b *testing.B, n, count int) (*Coordinator, []*query.GraphQuery) {
+	b.Helper()
+	c := New(n, 0)
+	nodes := []string{"A", "B", "C", "D", "E", "F"}
+	for i := 0; i < count; i++ {
+		rec := graph.NewRecord()
+		for j := 0; j < 3; j++ {
+			from := nodes[(i+j)%len(nodes)]
+			to := nodes[(i+j+1)%len(nodes)]
+			if err := rec.SetEdge(from, to, float64(i+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Add(rec)
+	}
+	c.Optimize()
+	var queries []*query.GraphQuery
+	for j := 0; j < len(nodes)-1; j++ {
+		queries = append(queries, query.FromPath(gpath.Closed(nodes[j], nodes[j+1])))
+	}
+	return c, queries
+}
+
+// BenchmarkShardedBatch is the bench-smoke probe for the scatter-gather
+// path: a mixed graph-query batch fanned across 4 shards.
+func BenchmarkShardedBatch(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			c, queries := benchCoordinator(b, n, 2000)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, errs := c.ExecuteGraphBatchContext(ctx, queries, 4); errs != nil {
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedConcurrentAdd is the bench-smoke probe for multi-core
+// writes: parallel Add calls routed round-robin across 4 shards.
+func BenchmarkShardedConcurrentAdd(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			c := New(n, 0)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					rec := graph.NewRecord()
+					if err := rec.SetEdge("A", "B", float64(i)); err != nil {
+						b.Fatal(err)
+					}
+					c.Add(rec)
+					i++
+				}
+			})
+		})
+	}
+}

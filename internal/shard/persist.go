@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"grove/internal/colstore"
+	"grove/internal/fsio"
+	"grove/internal/graph"
+)
+
+// On-disk layout of a sharded store directory:
+//
+//	registry.json          — shared element registry (append-only schema)
+//	shard-000/             — shard 0's own generational snapshot store
+//	  gen-000001/ CURRENT …
+//	shard-001/
+//	…
+//	SHARDS.json            — the cross-shard manifest (committed LAST)
+//
+// Commit protocol, in write order:
+//
+//  1. registry.json — atomic (temp+fsync+rename). The registry is
+//     append-only, so a newer registry next to older shard snapshots is
+//     harmless: ids never change meaning, extra ids are simply unused.
+//  2. each shard's snapshot via its own generational save — every shard
+//     runs the full §11 protocol (tmp dir, fsync, rename, CURRENT flip),
+//     so a crash inside any shard leaves that shard's previous generation
+//     installed and loadable.
+//  3. SHARDS.json — atomic, LAST. It pins the exact generation name of
+//     every shard, so Load reconstructs the committed cross-shard cut by
+//     loading those generations directly, ignoring the per-shard CURRENT
+//     pointers (some of which may already point at generations from a save
+//     that crashed before reaching step 3).
+//
+// The manifest write is therefore the commit point: a crash anywhere before
+// it leaves the old SHARDS.json naming the old (complete, consistent)
+// generation set; the instant after, the new set. No crash point can yield a
+// mixed cut. The generations a durable manifest pins are GC-protected in
+// each shard (Relation.SetGCProtect) so repeated crashed saves cannot
+// collect the rollback cut out from under the manifest.
+
+// manifestFile is the cross-shard manifest name; its presence marks a
+// directory as a sharded store.
+const manifestFile = "SHARDS.json"
+
+// registryFile matches the single-shard layout's registry name.
+const registryFile = "registry.json"
+
+// shardsManifest is the decoded SHARDS.json.
+type shardsManifest struct {
+	FormatVersion int `json:"format_version"`
+	NumShards     int `json:"num_shards"`
+	// Generations[i] is the pinned snapshot generation of shard i
+	// ("gen-000003").
+	Generations []string `json:"generations"`
+}
+
+// shardDirName returns shard i's subdirectory name.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// IsShardedDir reports whether dir holds a sharded store (has SHARDS.json).
+func IsShardedDir(dir string) bool {
+	_, err := fsio.OS().Stat(filepath.Join(dir, manifestFile))
+	return err == nil
+}
+
+// ShardDirs returns the per-shard snapshot directories the manifest at dir
+// commits, in shard order.
+func ShardDirs(dir string) ([]string, error) {
+	m, err := readShardsManifest(fsio.OS(), dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, m.NumShards)
+	for i := range out {
+		out[i] = filepath.Join(dir, shardDirName(i))
+	}
+	return out, nil
+}
+
+// PinnedGenerations returns, per shard, the snapshot generation the durable
+// SHARDS.json manifest commits. After a crashed save these may lag the
+// shards' own CURRENT pointers — the manifest, not CURRENT, names the
+// loadable cross-shard cut.
+func PinnedGenerations(dir string) ([]string, error) {
+	m, err := readShardsManifest(fsio.OS(), dir)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), m.Generations...), nil
+}
+
+// readShardsManifest reads and validates SHARDS.json.
+func readShardsManifest(fs fsio.FS, dir string) (*shardsManifest, error) {
+	b, err := fsio.ReadFile(fs, filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m shardsManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse %s: %w", manifestFile, err)
+	}
+	if m.FormatVersion != 1 {
+		return nil, fmt.Errorf("shard: %s format version %d not supported", manifestFile, m.FormatVersion)
+	}
+	if m.NumShards < 1 || len(m.Generations) != m.NumShards {
+		return nil, fmt.Errorf("shard: %s inconsistent: %d shards, %d generations", manifestFile, m.NumShards, len(m.Generations))
+	}
+	return &m, nil
+}
+
+// Save persists the coordinator to dir using the OS filesystem.
+func (c *Coordinator) Save(dir string) error { return c.SaveFS(fsio.OS(), dir) }
+
+// SaveFS persists the coordinator to dir following the commit protocol
+// above. On success the new generation set is durable and pinned; after a
+// crash at any point, Load recovers the previous committed cut bit-for-bit.
+func (c *Coordinator) SaveFS(fs fsio.FS, dir string) error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	if err := c.reg.SaveFS(fs, filepath.Join(dir, registryFile)); err != nil {
+		return err
+	}
+
+	// Protect the generations the durable manifest still pins: until the new
+	// SHARDS.json lands, those are the rollback cut, and the per-shard saves
+	// below must not GC them even across repeated crashed attempts.
+	if prev, err := readShardsManifest(fs, dir); err == nil && prev.NumShards == len(c.units) {
+		for i, u := range c.units {
+			u.Rel.SetGCProtect(prev.Generations[i])
+		}
+	}
+
+	gens := make([]string, len(c.units))
+	for i, u := range c.units {
+		gen, err := u.Rel.SaveFSGen(fs, filepath.Join(dir, shardDirName(i)))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		gens[i] = gen
+	}
+
+	m := shardsManifest{FormatVersion: 1, NumShards: len(c.units), Generations: gens}
+	b, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	if err := fsio.WriteFileAtomic(fs, filepath.Join(dir, manifestFile), b); err != nil {
+		return fmt.Errorf("shard: save %s: %w", manifestFile, err)
+	}
+
+	// The new cut is durable: move GC protection onto it.
+	for i, u := range c.units {
+		u.Rel.SetGCProtect(gens[i])
+	}
+	return nil
+}
+
+// Load reads a sharded store from dir using the OS filesystem.
+func Load(dir string) (*Coordinator, error) { return LoadFS(fsio.OS(), dir) }
+
+// LoadFS reads a sharded store from dir: the manifest names the committed
+// cross-shard cut, and every shard loads exactly its pinned generation —
+// never its CURRENT pointer, which a crashed later save may have advanced.
+func LoadFS(fs fsio.FS, dir string) (*Coordinator, error) {
+	m, err := readShardsManifest(fs, dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load %s: %w", dir, err)
+	}
+	reg, err := graph.LoadRegistryFS(fs, filepath.Join(dir, registryFile))
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]*colstore.Relation, m.NumShards)
+	for i := range rels {
+		rel, err := colstore.LoadGenerationFS(fs, filepath.Join(dir, shardDirName(i)), m.Generations[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		// The loaded cut stays the rollback target until the next manifest
+		// commits, so re-arm its GC protection.
+		rel.SetGCProtect(m.Generations[i])
+		rels[i] = rel
+	}
+	return NewFromRelations(rels, reg), nil
+}

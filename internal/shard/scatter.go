@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"grove/internal/bitmap"
+	"grove/internal/query"
+)
+
+// scatter fans fn across every shard concurrently and gathers the per-shard
+// results in shard order. The first shard failure cancels the siblings'
+// sub-context, so a cancelled or failed query promptly abandons all shard
+// sub-queries instead of letting the stragglers run to completion. A panic
+// in a shard goroutine is recovered into an error (on the single-relation
+// path a query panic unwinds the caller's goroutine; here it would kill the
+// process otherwise).
+//
+// With one shard, fn runs inline on the caller's goroutine — no goroutine,
+// channel, or context allocation — so the n=1 store keeps the exact
+// single-relation execution profile.
+func scatter[T any](ctx context.Context, c *Coordinator, fn func(ctx context.Context, s int, u *Unit) (T, error)) ([]T, error) {
+	n := len(c.units)
+	if n == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		v, err := fn(ctx, 0, u)
+		if err != nil {
+			return nil, err
+		}
+		return []T{v}, nil
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s, u := range c.units {
+		wg.Add(1)
+		u.pending.Add(1)
+		go func(s int, u *Unit) {
+			defer wg.Done()
+			defer u.pending.Add(-1)
+			defer func() {
+				if p := recover(); p != nil {
+					errs[s] = fmt.Errorf("shard %d: query panicked: %v", s, p)
+					cancel()
+				}
+			}()
+			v, err := fn(sctx, s, u)
+			if err != nil {
+				errs[s] = err
+				cancel() // abandon the sibling sub-queries promptly
+				return
+			}
+			results[s] = v
+		}(s, u)
+	}
+	wg.Wait()
+	if err := scatterError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// scatterError picks the error to surface from a scatter round. When one
+// shard fails for a real reason, its siblings abort with context.Canceled
+// from the induced cancellation — surfacing one of those would mask the
+// cause — so cancellation errors are only returned when no shard reports
+// anything else (i.e. the caller's own context was cancelled).
+func scatterError(errs []error) error {
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancelled
+}
+
+// preferErr merges two per-query error slots, preferring a real error over a
+// cancellation one (same masking concern as scatterError).
+func preferErr(cur, next error) error {
+	if next == nil {
+		return cur
+	}
+	if cur == nil {
+		return next
+	}
+	if errors.Is(cur, context.Canceled) || errors.Is(cur, context.DeadlineExceeded) {
+		if !errors.Is(next, context.Canceled) && !errors.Is(next, context.DeadlineExceeded) {
+			return next
+		}
+	}
+	return cur
+}
+
+// --- graph queries -----------------------------------------------------------
+
+// mergeResults combines per-shard graph-query results: the global answer is
+// the offset-translated union of the (disjoint) per-shard answers. Plan is
+// shard 0's, as the representative — shards share the schema and views, so
+// the plans agree.
+func (c *Coordinator) mergeResults(q *query.GraphQuery, subs []*query.Result) *query.Result {
+	answers := make([]*bitmap.Bitmap, len(subs))
+	for i, r := range subs {
+		answers[i] = r.Answer
+	}
+	return &query.Result{
+		Query:  q,
+		Plan:   subs[0].Plan,
+		Answer: c.mergeBitmaps(answers),
+		Subs:   subs,
+	}
+}
+
+// MatchContext executes a structural graph query across all shards.
+func (c *Coordinator) MatchContext(ctx context.Context, q *query.GraphQuery) (*query.Result, error) {
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return u.Eng.ExecuteGraphQueryContext(ctx, q)
+	}
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*query.Result, error) {
+		return u.Eng.ExecuteGraphQueryContext(ctx, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.mergeResults(q, subs), nil
+}
+
+// EvalExprContext evaluates a boolean expression over graph queries across
+// all shards. AND/OR/ANDNOT distribute over a disjoint record partition, so
+// each shard evaluates the whole expression locally and the global answer is
+// the translated union.
+func (c *Coordinator) EvalExprContext(ctx context.Context, expr query.Expr) (*bitmap.Bitmap, error) {
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*bitmap.Bitmap, error) {
+		return u.Eng.EvalExprContext(ctx, expr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.mergeBitmaps(subs), nil
+}
+
+// --- path aggregation --------------------------------------------------------
+
+// mergeAgg combines per-shard path-aggregation results. Each record's
+// per-path folds were computed entirely inside its shard — merging is pure
+// reordering by ascending global id, never re-association of float folds —
+// so an n-shard aggregate is bit-identical to the single-shard one,
+// including NaN and signed-zero values.
+func (c *Coordinator) mergeAgg(q *query.PathAggQuery, subs []*query.AggResult) *query.AggResult {
+	n := uint32(len(c.units))
+	type ref struct {
+		g uint32 // global record id
+		s int    // shard
+		i int    // index within subs[s].RecordIDs
+	}
+	total := 0
+	for _, r := range subs {
+		total += len(r.RecordIDs)
+	}
+	refs := make([]ref, 0, total)
+	for s, r := range subs {
+		for i, local := range r.RecordIDs {
+			refs = append(refs, ref{g: local*n + uint32(s), s: s, i: i})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].g < refs[b].g })
+
+	out := &query.AggResult{
+		Query:           q,
+		Answer:          bitmap.New(),
+		RecordIDs:       make([]uint32, len(refs)),
+		Paths:           subs[0].Paths,
+		SegmentsPerPath: subs[0].SegmentsPerPath,
+		Values:          make([][]float64, len(subs[0].Values)),
+	}
+	for p := range out.Values {
+		out.Values[p] = make([]float64, len(refs))
+	}
+	for j, r := range refs {
+		out.RecordIDs[j] = r.g
+		out.Answer.Add(r.g)
+		for p := range out.Values {
+			out.Values[p][j] = subs[r.s].Values[p][r.i]
+		}
+	}
+	return out
+}
+
+// AggregateContext executes a path-aggregation query across all shards.
+func (c *Coordinator) AggregateContext(ctx context.Context, q *query.PathAggQuery) (*query.AggResult, error) {
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return u.Eng.ExecutePathAggQueryContext(ctx, q)
+	}
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*query.AggResult, error) {
+		return u.Eng.ExecutePathAggQueryContext(ctx, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.mergeAgg(q, subs), nil
+}
+
+// --- statements --------------------------------------------------------------
+
+// ExecuteStatementContext parses and executes one text-language statement
+// across all shards.
+func (c *Coordinator) ExecuteStatementContext(ctx context.Context, text string) (*query.StatementResult, error) {
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return u.Eng.ExecuteStatementContext(ctx, text)
+	}
+	stmt, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Agg != nil {
+		res, err := c.AggregateContext(ctx, stmt.Agg)
+		if err != nil {
+			return nil, err
+		}
+		return &query.StatementResult{Agg: res}, nil
+	}
+	ids, err := c.EvalExprContext(ctx, stmt.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return &query.StatementResult{IDs: ids}, nil
+}
+
+// --- batches -----------------------------------------------------------------
+
+// batchWorkers splits a worker budget across shards: each shard's batch
+// executor gets workers/n (at least 1), so total concurrency stays near the
+// requested budget instead of multiplying by the shard count.
+func (c *Coordinator) batchWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if n := len(c.units); n > 1 {
+		workers /= n
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers
+}
+
+// ExecuteGraphBatchContext runs a batch of structural queries across all
+// shards: every shard executes the whole batch through its own worker pool,
+// and the per-query partials merge by query index. Error slots follow batch
+// semantics — one query's failure does not abort the rest — and a merged
+// query errors if it failed on any shard.
+func (c *Coordinator) ExecuteGraphBatchContext(ctx context.Context, queries []*query.GraphQuery, workers int) ([]*query.Result, []error) {
+	per := c.batchWorkers(workers)
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return query.NewBatchExecutor(u.Eng, per).ExecuteGraphQueriesContext(ctx, queries)
+	}
+	type shardOut struct {
+		res  []*query.Result
+		errs []error
+	}
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (shardOut, error) {
+		res, errs := query.NewBatchExecutor(u.Eng, per).ExecuteGraphQueriesContext(ctx, queries)
+		return shardOut{res: res, errs: errs}, nil
+	})
+	out := make([]*query.Result, len(queries))
+	outErrs := make([]error, len(queries))
+	if err != nil { // only a recovered panic can surface here
+		for i := range outErrs {
+			outErrs[i] = err
+		}
+		return out, outErrs
+	}
+	subsI := make([]*query.Result, len(subs))
+	for i, q := range queries {
+		var qerr error
+		for s := range subs {
+			qerr = preferErr(qerr, subs[s].errs[i])
+			subsI[s] = subs[s].res[i]
+		}
+		if qerr != nil {
+			outErrs[i] = qerr
+			continue
+		}
+		out[i] = c.mergeResults(q, append([]*query.Result(nil), subsI...))
+	}
+	return out, outErrs
+}
+
+// ExecutePathAggBatchContext is ExecuteGraphBatchContext for
+// path-aggregation batches.
+func (c *Coordinator) ExecutePathAggBatchContext(ctx context.Context, queries []*query.PathAggQuery, workers int) ([]*query.AggResult, []error) {
+	per := c.batchWorkers(workers)
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return query.NewBatchExecutor(u.Eng, per).ExecutePathAggQueriesContext(ctx, queries)
+	}
+	type shardOut struct {
+		res  []*query.AggResult
+		errs []error
+	}
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (shardOut, error) {
+		res, errs := query.NewBatchExecutor(u.Eng, per).ExecutePathAggQueriesContext(ctx, queries)
+		return shardOut{res: res, errs: errs}, nil
+	})
+	out := make([]*query.AggResult, len(queries))
+	outErrs := make([]error, len(queries))
+	if err != nil {
+		for i := range outErrs {
+			outErrs[i] = err
+		}
+		return out, outErrs
+	}
+	subsI := make([]*query.AggResult, len(subs))
+	for i, q := range queries {
+		var qerr error
+		for s := range subs {
+			qerr = preferErr(qerr, subs[s].errs[i])
+			subsI[s] = subs[s].res[i]
+		}
+		if qerr != nil {
+			outErrs[i] = qerr
+			continue
+		}
+		out[i] = c.mergeAgg(q, subsI)
+	}
+	return out, outErrs
+}

@@ -1,0 +1,506 @@
+// Package shard partitions the record collection horizontally into N
+// independent shards, each owning its own colstore.Relation (bitmap columns,
+// measure columns, result-cache slice, snapshot generation), and executes
+// queries by scatter-gather: fan the query across every shard in parallel,
+// then merge the partials.
+//
+// The merge is exact, not approximate, because everything grove computes is
+// distributive over a disjoint record partition (paper §3.4): a graph query
+// answer is a record-id set, so the global answer is the union of per-shard
+// answers; boolean combinations distribute over disjoint partitions, so each
+// shard evaluates the whole expression locally; and a path aggregation folds
+// measures per record, so each record's aggregate is computed entirely
+// inside its shard and cross-shard merging is pure reordering — bit-exact by
+// construction, with no float re-association.
+//
+// Record placement is round-robin on arrival: record number i lands on shard
+// i mod N at local id i div N, and its global id is local*N + shard. The
+// mapping is a bijection, so global ids translate to (shard, local) with two
+// integer ops, and a store loaded sequentially assigns the same global ids
+// regardless of N — which is what lets the differential tests compare a
+// 1-shard and an 8-shard store record-id for record-id.
+//
+// Writes route by the same mapping, so mutators on different shards proceed
+// concurrently — each shard has its own RWMutex — eliminating the
+// relation-wide write bottleneck of the single-relation store.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"grove/internal/agg"
+	"grove/internal/bitmap"
+	"grove/internal/colstore"
+	"grove/internal/graph"
+	"grove/internal/obs"
+	"grove/internal/query"
+	"grove/internal/view"
+)
+
+// Unit is one shard: a relation plus the engine that queries it.
+type Unit struct {
+	Rel *colstore.Relation
+	Eng *query.Engine
+
+	// pending counts the shard sub-queries currently queued or running on
+	// this shard — the per-shard queue-depth gauge on /metrics.
+	pending atomic.Int64
+}
+
+// Pending returns the number of sub-queries currently queued or running.
+func (u *Unit) Pending() int64 { return u.pending.Load() }
+
+// Coordinator owns N shards and a shared element registry (the universal
+// schema of §3.1 spans all shards — bitmap column ids must agree everywhere
+// or per-shard answers would not be mergeable).
+type Coordinator struct {
+	units []*Unit
+	reg   *graph.Registry
+
+	// rr is the round-robin write cursor: Add i goes to shard rr mod N.
+	rr atomic.Uint64
+
+	// saveMu serializes coordinated saves (each shard's own saveMu already
+	// serializes its generation sequence; this one keeps the cross-shard
+	// manifest consistent with one save at a time).
+	saveMu sync.Mutex
+}
+
+// New creates a coordinator over n empty shards (n < 1 is clamped to 1) with
+// the given vertical partition width per shard relation.
+func New(n, partitionWidth int) *Coordinator {
+	if n < 1 {
+		n = 1
+	}
+	reg := graph.NewRegistry()
+	rels := make([]*colstore.Relation, n)
+	for i := range rels {
+		rels[i] = colstore.NewRelation(partitionWidth)
+	}
+	return NewFromRelations(rels, reg)
+}
+
+// NewFromRelations wraps existing relations (e.g. loaded from disk) and a
+// shared registry into a coordinator. The relation order is the shard order.
+func NewFromRelations(rels []*colstore.Relation, reg *graph.Registry) *Coordinator {
+	c := &Coordinator{reg: reg}
+	total := 0
+	for _, rel := range rels {
+		c.units = append(c.units, &Unit{Rel: rel, Eng: query.NewEngine(rel, reg)})
+		total += rel.NumRecords()
+	}
+	// Resume the round-robin cursor past the loaded records so ingest stays
+	// balanced after a reload.
+	c.rr.Store(uint64(total))
+	return c
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.units) }
+
+// Unit returns shard i.
+func (c *Coordinator) Unit(i int) *Unit { return c.units[i] }
+
+// Registry returns the shared element registry.
+func (c *Coordinator) Registry() *graph.Registry { return c.reg }
+
+// --- record-id mapping ------------------------------------------------------
+
+// globalID translates (shard, local) to the global record id.
+func (c *Coordinator) globalID(s int, local uint32) uint32 {
+	return local*uint32(len(c.units)) + uint32(s)
+}
+
+// Locate translates a global record id to its shard and local id, reporting
+// an error when no such record exists.
+func (c *Coordinator) Locate(g uint32) (*Unit, uint32, error) {
+	n := uint32(len(c.units))
+	u := c.units[g%n]
+	local := g / n
+	if int64(local) >= int64(u.Rel.NumRecords()) {
+		return nil, 0, fmt.Errorf("shard: record %d out of range (have %d)", g, c.NumRecords())
+	}
+	return u, local, nil
+}
+
+// translateInto adds shard s's local record ids into out as global ids.
+func (c *Coordinator) translateInto(out, local *bitmap.Bitmap, s int) {
+	n := uint32(len(c.units))
+	local.Each(func(l uint32) bool {
+		out.Add(l*n + uint32(s))
+		return true
+	})
+}
+
+// mergeBitmaps unions per-shard answers into one global-id bitmap. For a
+// single shard local ids are global ids and the answer passes through.
+func (c *Coordinator) mergeBitmaps(subs []*bitmap.Bitmap) *bitmap.Bitmap {
+	if len(c.units) == 1 {
+		return subs[0]
+	}
+	out := bitmap.New()
+	for s, b := range subs {
+		if b != nil {
+			c.translateInto(out, b, s)
+		}
+	}
+	return out
+}
+
+// --- mutators ---------------------------------------------------------------
+
+// Add appends a record to the next shard in round-robin order and returns
+// its global record id. Concurrent Adds to different shards proceed in
+// parallel; Adds landing on the same shard serialize on that shard's lock.
+func (c *Coordinator) Add(rec *graph.Record) uint32 {
+	n := len(c.units)
+	if n == 1 {
+		return graph.LoadRecord(c.units[0].Rel, c.reg, rec)
+	}
+	s := int((c.rr.Add(1) - 1) % uint64(n))
+	local := graph.LoadRecord(c.units[s].Rel, c.reg, rec)
+	return c.globalID(s, local)
+}
+
+// Delete soft-deletes the record with global id g.
+func (c *Coordinator) Delete(g uint32) (bool, error) {
+	u, local, err := c.Locate(g)
+	if err != nil {
+		return false, err
+	}
+	return u.Rel.Delete(local)
+}
+
+// Undelete restores a soft-deleted record.
+func (c *Coordinator) Undelete(g uint32) bool {
+	u, local, err := c.Locate(g)
+	if err != nil {
+		return false
+	}
+	return u.Rel.Undelete(local)
+}
+
+// Tag attaches a key=value tag to the record with global id g.
+func (c *Coordinator) Tag(g uint32, key, value string) error {
+	u, local, err := c.Locate(g)
+	if err != nil {
+		return err
+	}
+	return u.Rel.Tag(local, key, value)
+}
+
+// TaggedWith returns the global ids of the records tagged key=value. The
+// result is always a fresh bitmap copied under each shard's read lock, so it
+// stays valid after concurrent mutations.
+func (c *Coordinator) TaggedWith(key, value string) *bitmap.Bitmap {
+	out := bitmap.New()
+	for i, u := range c.units {
+		u.Rel.BeginRead()
+		b := u.Rel.FetchTagBitmap(key, value)
+		if len(c.units) == 1 {
+			out = out.Or(b)
+		} else {
+			c.translateInto(out, b, i)
+		}
+		u.Rel.EndRead()
+	}
+	return out
+}
+
+// Optimize recompresses every shard's bitmap columns.
+func (c *Coordinator) Optimize() {
+	for _, u := range c.units {
+		u.Rel.RunOptimize()
+	}
+}
+
+// --- views ------------------------------------------------------------------
+
+// MaterializeView materializes one graph view under the same name on every
+// shard (views must exist uniformly or per-shard plans would diverge).
+func (c *Coordinator) MaterializeView(name string, edges []colstore.EdgeID) error {
+	for _, u := range c.units {
+		if _, err := u.Rel.MaterializeView(name, edges); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeAggViewOn materializes one aggregate view on every shard.
+func (c *Coordinator) MaterializeAggViewOn(name string, path []colstore.EdgeID, fn agg.Func, measure string) error {
+	for _, u := range c.units {
+		if _, err := u.Rel.MaterializeAggViewOn(name, path, fn, measure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeGraphViews runs the §5 advisor (selection is purely
+// workload-driven, so shard 0's advisor speaks for all) and materializes the
+// selected views on every shard under the same names.
+func (c *Coordinator) MaterializeGraphViews(workload []*graph.Graph, k, minSup int) ([]string, error) {
+	adv := &view.Advisor{Rel: c.units[0].Rel, Reg: c.reg, MinSup: minSup}
+	names, err := adv.MaterializeGraphViews(workload, k)
+	if err != nil {
+		return names, err
+	}
+	for _, name := range names {
+		v := c.units[0].Rel.View(name)
+		for _, u := range c.units[1:] {
+			if _, err := u.Rel.MaterializeView(name, v.Edges); err != nil {
+				return names, err
+			}
+		}
+	}
+	return names, nil
+}
+
+// MaterializeAggViews is MaterializeGraphViews for aggregate views.
+func (c *Coordinator) MaterializeAggViews(workload []*graph.Graph, fn agg.Func, k, minSup int) ([]string, error) {
+	adv := &view.Advisor{Rel: c.units[0].Rel, Reg: c.reg, MinSup: minSup}
+	names, err := adv.MaterializeAggViews(workload, fn, k)
+	if err != nil {
+		return names, err
+	}
+	for _, name := range names {
+		v := c.units[0].Rel.AggView(name)
+		bound, ok := agg.ByName(v.Func)
+		if !ok {
+			return names, fmt.Errorf("shard: unknown aggregate function %q", v.Func)
+		}
+		for _, u := range c.units[1:] {
+			if _, err := u.Rel.MaterializeAggViewOn(name, v.Path, bound, v.MeasureName); err != nil {
+				return names, err
+			}
+		}
+	}
+	return names, nil
+}
+
+// DropAllViews removes every materialized view on every shard.
+func (c *Coordinator) DropAllViews() {
+	for _, u := range c.units {
+		u.Rel.DropAllViews()
+	}
+}
+
+// ClusterPartitions recomputes the vertical-partition assignment on every
+// shard around the same workload.
+func (c *Coordinator) ClusterPartitions(workload [][]colstore.EdgeID) error {
+	for _, u := range c.units {
+		if _, err := u.Rel.ClusterPartitions(workload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ViewUsage sums per-view usage counts across shards.
+func (c *Coordinator) ViewUsage() map[string]int64 {
+	out := make(map[string]int64)
+	for _, u := range c.units {
+		for name, n := range u.Rel.ViewUsage() {
+			out[name] += n
+		}
+	}
+	return out
+}
+
+// --- engine configuration ---------------------------------------------------
+
+// SetUseViews toggles view-aware rewriting on every shard engine.
+func (c *Coordinator) SetUseViews(use bool) {
+	for _, u := range c.units {
+		u.Eng.UseViews = use
+	}
+}
+
+// SetParallelPaths toggles concurrent per-path aggregation on every shard
+// engine.
+func (c *Coordinator) SetParallelPaths(on bool) {
+	for _, u := range c.units {
+		u.Eng.ParallelPaths = on
+	}
+}
+
+// EnableCache attaches a result cache to every shard engine, splitting the
+// capacity evenly (capacity ≤ 0 selects each cache's default). A mutation
+// invalidates only its own shard's slice — the other shards' cached answers
+// remain exact because their data did not change. enable=false detaches.
+func (c *Coordinator) EnableCache(enable bool, capacity int) {
+	n := len(c.units)
+	per := capacity
+	if enable && n > 1 && capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	for _, u := range c.units {
+		if enable {
+			u.Eng.EnableCache(query.NewResultCache(per))
+		} else {
+			u.Eng.EnableCache(nil)
+		}
+	}
+}
+
+// CacheStats sums the per-shard result-cache counters.
+func (c *Coordinator) CacheStats() query.CacheStats {
+	var st query.CacheStats
+	for _, u := range c.units {
+		if cache := u.Eng.Cache(); cache != nil {
+			s := cache.Stats()
+			st.Hits += s.Hits
+			st.Misses += s.Misses
+			st.Evictions += s.Evictions
+		}
+	}
+	return st
+}
+
+// SetMetrics attaches one shared metrics bundle to every shard engine
+// (QueryMetrics is atomic counters, safe to share).
+func (c *Coordinator) SetMetrics(m *obs.QueryMetrics) {
+	for _, u := range c.units {
+		u.Eng.SetMetrics(m)
+	}
+}
+
+// SetTraces attaches one shared trace ring to every shard engine (nil
+// disables). With N > 1, one logical query records one trace per shard.
+func (c *Coordinator) SetTraces(t *obs.TraceRing) {
+	for _, u := range c.units {
+		u.Eng.SetTraces(t)
+	}
+}
+
+// SetSnapshotKeep sets the per-shard snapshot retention.
+func (c *Coordinator) SetSnapshotKeep(n int) {
+	for _, u := range c.units {
+		u.Rel.SetSnapshotKeep(n)
+	}
+}
+
+// --- aggregated accounting ----------------------------------------------------
+
+// NumRecords sums the shard record counts.
+func (c *Coordinator) NumRecords() int {
+	total := 0
+	for _, u := range c.units {
+		total += u.Rel.NumRecords()
+	}
+	return total
+}
+
+// NumDeleted sums the shard soft-delete counts.
+func (c *Coordinator) NumDeleted() int {
+	total := 0
+	for _, u := range c.units {
+		total += u.Rel.NumDeleted()
+	}
+	return total
+}
+
+// TotalMeasures sums the shard measure counts.
+func (c *Coordinator) TotalMeasures() int64 {
+	var total int64
+	for _, u := range c.units {
+		total += u.Rel.TotalMeasures()
+	}
+	return total
+}
+
+// SizeBytes sums the shard payload sizes (base columns + views).
+func (c *Coordinator) SizeBytes() int64 {
+	var total int64
+	for _, u := range c.units {
+		total += u.Rel.SizeBytes()
+	}
+	return total
+}
+
+// BaseSizeBytes sums the shard base-column sizes.
+func (c *Coordinator) BaseSizeBytes() int64 {
+	var total int64
+	for _, u := range c.units {
+		total += u.Rel.BaseSizeBytes()
+	}
+	return total
+}
+
+// ViewSizeBytes sums the shard view sizes.
+func (c *Coordinator) ViewSizeBytes() int64 {
+	var total int64
+	for _, u := range c.units {
+		total += u.Rel.ViewSizeBytes()
+	}
+	return total
+}
+
+// MaxPartitions returns the widest shard's vertical-partition count (shards
+// share the schema, so the counts normally agree; max is the conservative
+// report).
+func (c *Coordinator) MaxPartitions() int {
+	m := 0
+	for _, u := range c.units {
+		if p := u.Rel.NumPartitions(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// MeasureNames unions the shard measure-name sets, sorted. Records carrying
+// a named measure may all have landed on one shard, so no single shard's
+// list is authoritative.
+func (c *Coordinator) MeasureNames() []string {
+	return unionSorted(func(u *Unit) []string { return u.Rel.MeasureNames() }, c.units)
+}
+
+// TagKeys unions the shard tag-key sets, sorted.
+func (c *Coordinator) TagKeys() []string {
+	return unionSorted(func(u *Unit) []string { return u.Rel.TagKeys() }, c.units)
+}
+
+func unionSorted(get func(*Unit) []string, units []*Unit) []string {
+	seen := make(map[string]struct{})
+	for _, u := range units {
+		for _, s := range get(u) {
+			seen[s] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IOStats sums the shard I/O accounting snapshots.
+func (c *Coordinator) IOStats() colstore.Stats {
+	var total colstore.Stats
+	for _, u := range c.units {
+		s := u.Rel.Tracker().Snapshot()
+		total.BitmapColumnsFetched += s.BitmapColumnsFetched
+		total.MeasureColumnsFetched += s.MeasureColumnsFetched
+		total.MeasuresScanned += s.MeasuresScanned
+		total.BytesRead += s.BytesRead
+		total.PartitionJoins += s.PartitionJoins
+		total.RecordsReturned += s.RecordsReturned
+	}
+	return total
+}
+
+// ResetIOStats zeroes every shard's I/O accounting counters.
+func (c *Coordinator) ResetIOStats() {
+	for _, u := range c.units {
+		u.Rel.Tracker().Reset()
+	}
+}

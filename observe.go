@@ -3,6 +3,7 @@ package grove
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"grove/internal/colstore"
 	"grove/internal/obs"
@@ -54,6 +55,13 @@ const (
 	MetricStoreAggViews       = "grove_store_aggregate_views"
 	MetricStorePartitions     = "grove_store_partitions"
 	MetricTracesRecordedTotal = "grove_traces_recorded_total"
+
+	// Per-shard families, labelled {shard="0"}, {shard="1"}, … (DESIGN.md §12).
+	MetricStoreShards     = "grove_store_shards"
+	MetricShardRecords    = "grove_shard_records"
+	MetricShardQueueDepth = "grove_shard_queue_depth"
+	MetricShardCacheHits  = "grove_shard_cache_hits_total"
+	MetricShardSizeBytes  = "grove_shard_size_bytes"
 )
 
 // ioSink mirrors the column store's accounting events into registry
@@ -93,16 +101,22 @@ func (s *Store) Metrics() *MetricsRegistry {
 	}
 	r := obs.NewRegistry()
 	s.metrics = r
-	s.eng.SetMetrics(obs.NewQueryMetrics(r))
+	// One shared metrics bundle serves every shard engine: the counters are
+	// atomic, so scatter-gathered sub-queries record into them concurrently.
+	s.coord.SetMetrics(obs.NewQueryMetrics(r))
 
-	s.rel.Tracker().SetSink(&ioSink{
+	// Likewise one shared I/O sink taps every shard's column-store tracker.
+	sink := &ioSink{
 		bitmapFetches:   r.Counter(MetricIOBitmapFetches, "Bitmap columns fetched (the paper's structural cost unit)."),
 		measureFetches:  r.Counter(MetricIOMeasureFetches, "Measure columns fetched."),
 		measuresScanned: r.Counter(MetricIOMeasuresScanned, "Individual measure values materialized."),
 		bytesRead:       r.Counter(MetricIOBytesRead, "Physical payload bytes touched."),
 		partitionJoins:  r.Counter(MetricIOPartitionJoins, "Record-id joins across vertical partitions."),
 		recordsReturned: r.Counter(MetricIORecordsReturned, "Graph records in query answers."),
-	})
+	}
+	for i := 0; i < s.coord.NumShards(); i++ {
+		s.coord.Unit(i).Rel.Tracker().SetSink(sink)
+	}
 
 	r.CounterFunc(MetricCacheHits, "Result cache hits.",
 		func() float64 { return float64(s.CacheStats().Hits) })
@@ -124,22 +138,63 @@ func (s *Store) Metrics() *MetricsRegistry {
 			return out
 		})
 
-	r.GaugeFunc(MetricStoreRecords, "Stored graph records.",
-		func() float64 { return float64(s.rel.NumRecords()) })
-	r.GaugeFunc(MetricStoreDeleted, "Soft-deleted records.",
-		func() float64 { return float64(s.rel.NumDeleted()) })
+	// Store gauges aggregate across every shard — a sharded store reporting
+	// only shard 0 would understate the store by a factor of N.
+	r.GaugeFunc(MetricStoreRecords, "Stored graph records (all shards).",
+		func() float64 { return float64(s.coord.NumRecords()) })
+	r.GaugeFunc(MetricStoreDeleted, "Soft-deleted records (all shards).",
+		func() float64 { return float64(s.coord.NumDeleted()) })
 	r.GaugeFunc(MetricStoreEdges, "Distinct structural elements registered.",
 		func() float64 { return float64(s.reg.Len()) })
-	r.GaugeFunc(MetricStoreSizeBytes, "In-memory payload size (base columns + views).",
-		func() float64 { return float64(s.rel.SizeBytes()) })
+	r.GaugeFunc(MetricStoreSizeBytes, "In-memory payload size (base columns + views, all shards).",
+		func() float64 { return float64(s.coord.SizeBytes()) })
 	r.GaugeFunc(MetricStoreGraphViews, "Materialized graph views.",
 		func() float64 { return float64(len(s.rel.Views())) })
 	r.GaugeFunc(MetricStoreAggViews, "Materialized aggregate views.",
 		func() float64 { return float64(len(s.rel.AggViews())) })
-	r.GaugeFunc(MetricStorePartitions, "Vertical partitions of the master relation.",
-		func() float64 { return float64(s.rel.NumPartitions()) })
+	r.GaugeFunc(MetricStorePartitions, "Vertical partitions of the master relation (widest shard).",
+		func() float64 { return float64(s.coord.MaxPartitions()) })
 	r.CounterFunc(MetricTracesRecordedTotal, "Query traces recorded (including ones evicted from the ring).",
 		func() float64 { return float64(s.eng.Traces().Total()) })
+
+	r.GaugeFunc(MetricStoreShards, "Shards the record collection is partitioned into.",
+		func() float64 { return float64(s.coord.NumShards()) })
+	r.GaugeVecFunc(MetricShardRecords, "Stored graph records per shard.",
+		func() map[string]float64 {
+			out := make(map[string]float64, s.coord.NumShards())
+			for i := 0; i < s.coord.NumShards(); i++ {
+				out[obs.Labels("shard", strconv.Itoa(i))] = float64(s.coord.Unit(i).Rel.NumRecords())
+			}
+			return out
+		})
+	r.GaugeVecFunc(MetricShardQueueDepth, "Scatter-gather sub-queries queued or running per shard.",
+		func() map[string]float64 {
+			out := make(map[string]float64, s.coord.NumShards())
+			for i := 0; i < s.coord.NumShards(); i++ {
+				out[obs.Labels("shard", strconv.Itoa(i))] = float64(s.coord.Unit(i).Pending())
+			}
+			return out
+		})
+	r.GaugeVecFunc(MetricShardSizeBytes, "In-memory payload size per shard.",
+		func() map[string]float64 {
+			out := make(map[string]float64, s.coord.NumShards())
+			for i := 0; i < s.coord.NumShards(); i++ {
+				out[obs.Labels("shard", strconv.Itoa(i))] = float64(s.coord.Unit(i).Rel.SizeBytes())
+			}
+			return out
+		})
+	r.CounterVecFunc(MetricShardCacheHits, "Result cache hits per shard.",
+		func() map[string]float64 {
+			out := make(map[string]float64, s.coord.NumShards())
+			for i := 0; i < s.coord.NumShards(); i++ {
+				var hits int64
+				if c := s.coord.Unit(i).Eng.Cache(); c != nil {
+					hits = c.Stats().Hits
+				}
+				out[obs.Labels("shard", strconv.Itoa(i))] = float64(hits)
+			}
+			return out
+		})
 	return s.metrics
 }
 
@@ -147,29 +202,26 @@ func (s *Store) Metrics() *MetricsRegistry {
 // query (capacity ≤ 0 selects a default of 128). Tracing costs one
 // allocation per query plus one per phase span, which is why it is opt-in;
 // with tracing off the query path pays a single nil check.
+// On a sharded store one ring is shared by every shard engine, so one
+// logical query records one trace per shard sub-query.
 func (s *Store) EnableTracing(capacity int) {
-	s.eng.SetTraces(obs.NewTraceRing(capacity))
+	s.coord.SetTraces(obs.NewTraceRing(capacity))
 }
 
 // DisableTracing detaches the trace ring.
-func (s *Store) DisableTracing() { s.eng.SetTraces(nil) }
+func (s *Store) DisableTracing() { s.coord.SetTraces(nil) }
 
 // RecentTraces returns the recorded traces, newest first (nil when tracing
 // was never enabled). Traces marshal to JSON.
 func (s *Store) RecentTraces() []Trace { return s.eng.Traces().Recent() }
 
-// CacheStats returns the result cache's cumulative counters (zero when no
-// cache is attached).
-func (s *Store) CacheStats() CacheStats {
-	if c := s.eng.Cache(); c != nil {
-		return c.Stats()
-	}
-	return CacheStats{}
-}
+// CacheStats returns the result cache's cumulative counters, summed across
+// all shards (zero when no cache is attached).
+func (s *Store) CacheStats() CacheStats { return s.coord.CacheStats() }
 
 // ViewUsage returns, per materialized view (graph and aggregate), how many
-// times it answered part of a query.
-func (s *Store) ViewUsage() map[string]int64 { return s.rel.ViewUsage() }
+// times it answered part of a query, summed across all shards.
+func (s *Store) ViewUsage() map[string]int64 { return s.coord.ViewUsage() }
 
 // ServeMetrics starts an HTTP server on addr (use ":0" for an ephemeral
 // port; read it back with Addr) exposing:
