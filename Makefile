@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-smoke durability shard-diff check
+.PHONY: build test race lint fuzz-smoke bench bench-smoke replay-smoke durability shard-diff check
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,19 @@ bench:
 # without paying for a full benchmark run. The checked-in baseline is
 # BENCH_pathagg.json (regenerate with
 # `go test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 5x`).
+# The obs-overhead guard holds metrics+tracing near the <5% EXPERIMENTS.md
+# expectation (10% tripwire budget: noise headroom on a contended box).
 bench-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -bench PathAgg -benchtime 1x
 	$(GO) test ./internal/shard/ -run '^$$' -bench Sharded -benchtime 1x
+	$(GO) test ./internal/bench/ -run TestObsOverheadSmoke -count=1 -v
+
+# The workload record→replay round trip at smoke scale: capture a mixed
+# workload on a single-shard store and replay it against 1/2/4-shard stores,
+# requiring every replayed answer's digest to match the recording
+# (grovebench exits non-zero on any mismatch).
+replay-smoke:
+	$(GO) run ./cmd/grovebench -exp replay -ny 2000 -q 20
 
 # The durability gate: crash Save at every injected I/O fault (with and
 # without torn writes) and prove Load always recovers a complete snapshot —
@@ -78,6 +88,7 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) bench-smoke
+	$(MAKE) replay-smoke
 	$(MAKE) durability
 	$(MAKE) shard-diff
 	$(MAKE) race

@@ -10,6 +10,9 @@
 //	grovebench -exp fig6 -ny 100000     # scale a dataset up
 //	grovebench -exp batch -parallel     # batch speedup, NumCPU workers
 //	grovebench -exp batch -workers 8    # batch speedup, fixed pool size
+//	grovebench -exp replay              # record→replay round trip, digests verified
+//	grovebench -exp replay -replay-log w.jsonl -replay-store /tmp/ny
+//	                                    # replay a captured workload against a saved store
 //	grovebench -list                    # list experiment ids
 package main
 
@@ -36,6 +39,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		parallel = flag.Bool("parallel", false, "run batch workloads across runtime.NumCPU() workers")
 		workers  = flag.Int("workers", 0, "worker-pool size for batch workloads (implies -parallel; 0 = NumCPU with -parallel)")
+
+		replayLog   = flag.String("replay-log", "", "replay this captured workload log (grove.StartWorkloadRecording) instead of the self-contained round trip (replay experiment only)")
+		replayStore = flag.String("replay-store", "", "saved store directory to replay -replay-log against")
 	)
 	flag.Parse()
 
@@ -65,6 +71,8 @@ func main() {
 	} else if *parallel {
 		sc.Workers = runtime.NumCPU()
 	}
+	sc.ReplayLog = *replayLog
+	sc.ReplayStore = *replayStore
 
 	var experiments []bench.Experiment
 	if *exp == "all" {

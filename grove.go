@@ -31,12 +31,15 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"grove/internal/bitmap"
 	"grove/internal/colstore"
 	"grove/internal/fsio"
 	"grove/internal/gpath"
 	"grove/internal/graph"
+	"grove/internal/obs"
 	"grove/internal/query"
 	"grove/internal/shard"
 	"grove/internal/view"
@@ -116,6 +119,10 @@ type Store struct {
 	// metrics is created lazily by Metrics (observe.go); nil until then, and
 	// the query path pays nothing while it is.
 	metrics *MetricsRegistry
+
+	// rec is the active workload recorder (record.go); nil unless recording
+	// is on, and the query path pays one atomic load while it is.
+	rec atomic.Pointer[obs.WorkloadRecorder]
 }
 
 // newStore wraps a coordinator as a Store.
@@ -313,7 +320,15 @@ func (s *Store) Match(g *Graph) (*Result, error) {
 // (recorded as a "cancelled" span when tracing is on). On a sharded store a
 // cancellation promptly abandons every shard's sub-query.
 func (s *Store) MatchContext(ctx context.Context, g *Graph) (*Result, error) {
-	return s.coord.MatchContext(ctx, query.NewGraphQuery(g))
+	q := query.NewGraphQuery(g)
+	rec := s.rec.Load()
+	if rec == nil {
+		return s.coord.MatchContext(ctx, q)
+	}
+	start := time.Now()
+	res, err := s.coord.MatchContext(ctx, q)
+	s.recordMatch(rec, q, start, res, err)
+	return res, err
 }
 
 // MatchPath answers a single-path graph query over the given nodes.
@@ -359,7 +374,14 @@ func (s *Store) ExecuteBatchContext(ctx context.Context, graphs []*Graph, worker
 	for i, g := range graphs {
 		queries[i] = query.NewGraphQuery(g)
 	}
-	return s.coord.ExecuteGraphBatchContext(ctx, queries, workers)
+	rec := s.rec.Load()
+	if rec == nil {
+		return s.coord.ExecuteGraphBatchContext(ctx, queries, workers)
+	}
+	start := time.Now()
+	results, errs := s.coord.ExecuteGraphBatchContext(ctx, queries, workers)
+	s.recordGraphBatch(rec, queries, start, results, errs)
+	return results, errs
 }
 
 // AggregateBatch answers a batch of path-aggregation queries (f folded along
@@ -380,7 +402,14 @@ func (s *Store) AggregateBatchContext(ctx context.Context, graphs []*Graph, f Ag
 	for i, g := range graphs {
 		queries[i] = query.NewPathAggQuery(g, f)
 	}
-	return s.coord.ExecutePathAggBatchContext(ctx, queries, workers)
+	rec := s.rec.Load()
+	if rec == nil {
+		return s.coord.ExecutePathAggBatchContext(ctx, queries, workers)
+	}
+	start := time.Now()
+	results, errs := s.coord.ExecutePathAggBatchContext(ctx, queries, workers)
+	s.recordAggBatch(rec, queries, start, results, errs)
+	return results, errs
 }
 
 // Aggregate answers a path-aggregation query: it matches g and folds f along
@@ -392,7 +421,20 @@ func (s *Store) Aggregate(g *Graph, f AggFunc) (*AggResult, error) {
 // AggregateContext is Aggregate with cancellation, checked between bitmap
 // fetches and between per-path aggregation chunks.
 func (s *Store) AggregateContext(ctx context.Context, g *Graph, f AggFunc) (*AggResult, error) {
-	return s.coord.AggregateContext(ctx, query.NewPathAggQuery(g, f))
+	return s.aggregateQuery(ctx, query.NewPathAggQuery(g, f))
+}
+
+// aggregateQuery is the funnel every path-aggregation facade goes through, so
+// workload recording sees each of them.
+func (s *Store) aggregateQuery(ctx context.Context, q *query.PathAggQuery) (*AggResult, error) {
+	rec := s.rec.Load()
+	if rec == nil {
+		return s.coord.AggregateContext(ctx, q)
+	}
+	start := time.Now()
+	res, err := s.coord.AggregateContext(ctx, q)
+	s.recordAgg(rec, q, start, res, err)
+	return res, err
 }
 
 // AggregatePath aggregates f along the single path over the given nodes.
@@ -407,7 +449,7 @@ func (s *Store) AggregatePath(f AggFunc, nodes ...string) (*AggResult, error) {
 // instead of the default measure when records carry several measures per
 // element (§3.1).
 func (s *Store) AggregateMeasure(g *Graph, f AggFunc, measure string) (*AggResult, error) {
-	return s.coord.AggregateContext(context.Background(), query.NewPathAggQueryOn(g, f, measure))
+	return s.aggregateQuery(context.Background(), query.NewPathAggQueryOn(g, f, measure))
 }
 
 // AggregatePathMeasure aggregates a named measure along a single path.
@@ -426,7 +468,7 @@ func (s *Store) AggregateAlong(f AggFunc, p Path, measure string) (*AggResult, e
 	if len(p.Nodes) < 2 {
 		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
 	}
-	return s.coord.AggregateContext(context.Background(), query.NewPathAggQueryAlong(p, f, measure))
+	return s.aggregateQuery(context.Background(), query.NewPathAggQueryAlong(p, f, measure))
 }
 
 // MeasureNames lists the named measures stored across all shards (the
@@ -456,7 +498,14 @@ func AndNot(a, b Expr) Expr { return query.Diff{A: a, B: b} }
 // partition, so a sharded store evaluates the whole expression on every
 // shard in parallel and unions the answers.
 func (s *Store) Eval(e Expr) (*Bitmap, error) {
-	return s.coord.EvalExprContext(context.Background(), e)
+	rec := s.rec.Load()
+	if rec == nil {
+		return s.coord.EvalExprContext(context.Background(), e)
+	}
+	start := time.Now()
+	ids, err := s.coord.EvalExprContext(context.Background(), e)
+	s.recordEval(rec, e, start, ids, err)
+	return ids, err
 }
 
 // LeafGraphs returns the query graphs at the leaves of a boolean expression,
@@ -538,11 +587,23 @@ type QueryResult struct {
 //
 // Keywords are case-insensitive; parentheses group.
 func (s *Store) Query(text string) (*QueryResult, error) {
+	rec := s.rec.Load()
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
 	res, err := s.coord.ExecuteStatementContext(context.Background(), text)
 	if err != nil {
+		if rec != nil {
+			s.recordStatement(rec, text, start, nil, err)
+		}
 		return nil, err
 	}
-	return &QueryResult{IDs: res.IDs, Agg: res.Agg}, nil
+	out := &QueryResult{IDs: res.IDs, Agg: res.Agg}
+	if rec != nil {
+		s.recordStatement(rec, text, start, out, nil)
+	}
+	return out, nil
 }
 
 // PathsThrough returns the composite path [Src(g),Src(region)) ⋈

@@ -30,6 +30,12 @@ type Scale struct {
 	Workers int
 	// Seed makes every dataset and workload draw deterministic.
 	Seed int64
+
+	// ReplayLog, when set, switches the replay experiment from its
+	// self-contained record→replay round trip to replaying this captured
+	// workload log against the saved store at ReplayStore.
+	ReplayLog   string
+	ReplayStore string
 }
 
 // DefaultScale finishes the whole suite in a few minutes on one core.

@@ -24,48 +24,7 @@ func ExpObs(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	// Each timed run replays the workload several times so a run is long
-	// enough to measure, and the best of several runs is kept — single-digit
-	// millisecond runs are otherwise dominated by scheduler and GC noise.
-	const passes, rounds = 5, 7
-	run := func(e *query.Engine) (time.Duration, error) {
-		// Warm-up pass so page-in and allocator noise doesn't land on any mode.
-		if _, _, err := sequentialGraphWorkload(e, queries); err != nil {
-			return 0, err
-		}
-		best := time.Duration(0)
-		for i := 0; i < rounds; i++ {
-			total := time.Duration(0)
-			for j := 0; j < passes; j++ {
-				_, d, err := sequentialGraphWorkload(e, queries)
-				if err != nil {
-					return 0, err
-				}
-				total += d
-			}
-			if best == 0 || total < best {
-				best = total
-			}
-		}
-		return best / passes, nil
-	}
-
-	off, err := run(eng)
-	if err != nil {
-		return nil, err
-	}
-
-	withMetrics := eng.Clone()
-	withMetrics.SetMetrics(obs.NewQueryMetrics(obs.NewRegistry()))
-	metricsDur, err := run(withMetrics)
-	if err != nil {
-		return nil, err
-	}
-
-	withTracing := withMetrics.Clone()
-	withTracing.SetTraces(obs.NewTraceRing(0))
-	tracingDur, err := run(withTracing)
+	off, metricsDur, tracingDur, err := obsOverheadDurations(eng, queries)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +35,50 @@ func ExpObs(sc Scale) (*Table, error) {
 	t.AddRow("Instrumentation off", fmtMS(float64(off.Microseconds())/1000), "baseline")
 	t.AddRow("Metrics", fmtMS(float64(metricsDur.Microseconds())/1000), overhead(metricsDur))
 	t.AddRow("Metrics + tracing", fmtMS(float64(tracingDur.Microseconds())/1000), overhead(tracingDur))
-	t.AddNote(fmt.Sprintf("best of %d runs of %d workload passes per mode, after a warm-up pass; tracing records full lifecycle spans into a 128-entry ring", rounds, passes))
+	t.AddNote(fmt.Sprintf("best of %d runs of %d workload passes per mode, after a warm-up pass; tracing records full lifecycle spans into a 128-entry ring", obsRounds, obsPasses))
 	return t, nil
+}
+
+// Each timed run replays the workload several times so a run is long enough
+// to measure, and the best of several runs is kept — single-digit millisecond
+// runs are otherwise dominated by scheduler and GC noise.
+const obsPasses, obsRounds = 5, 7
+
+// obsOverheadDurations times the same sequential workload with
+// instrumentation off, with metrics, and with metrics plus tracing. Shared by
+// ExpObs and the bench-smoke overhead guard. The three modes are interleaved
+// round-by-round — each round times every mode back to back before the next
+// round starts — so a patch of scheduler or GC noise lands on all modes of
+// that round rather than skewing one mode's entire measurement window; the
+// best round per mode is kept.
+func obsOverheadDurations(eng *query.Engine, queries []*query.GraphQuery) (off, withMetrics, withTracing time.Duration, err error) {
+	metered := eng.Clone()
+	metered.SetMetrics(obs.NewQueryMetrics(obs.NewRegistry()))
+	traced := metered.Clone()
+	traced.SetTraces(obs.NewTraceRing(0))
+	modes := []*query.Engine{eng, metered, traced}
+
+	// Warm-up pass per mode so page-in and allocator noise lands on none.
+	for _, e := range modes {
+		if _, _, err := sequentialGraphWorkload(e, queries); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	best := make([]time.Duration, len(modes))
+	for i := 0; i < obsRounds; i++ {
+		for m, e := range modes {
+			total := time.Duration(0)
+			for j := 0; j < obsPasses; j++ {
+				_, d, err := sequentialGraphWorkload(e, queries)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				total += d
+			}
+			if best[m] == 0 || total < best[m] {
+				best[m] = total
+			}
+		}
+	}
+	return best[0] / obsPasses, best[1] / obsPasses, best[2] / obsPasses, nil
 }

@@ -31,6 +31,7 @@ func Registry() []Experiment {
 		{"shard", "Sharded scatter-gather: concurrent writes and query fan-out (tentpole)", ExpShard},
 		{"measurescan", "Vectorized measure-scan kernels vs scalar lookups (tentpole)", ExpMeasureScan},
 		{"obs", "Observability overhead: metrics and tracing vs off", ExpObs},
+		{"replay", "Workload record→replay round trip, digests verified across shard counts", ExpReplay},
 		{"extcluster", "Extension: workload-driven column clustering (§6.1)", ExtCluster},
 		{"extmaint", "Extension: incremental view maintenance", ExtMaintenance},
 	}

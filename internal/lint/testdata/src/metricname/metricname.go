@@ -10,7 +10,11 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) int { retur
 func (r *Registry) Gauge(name, help string) int                          { return 0 }
 func (r *Registry) Histogram(name, help string, buckets []float64) int   { return 0 }
 
-const metricJobs = "grove_jobs_total"
+const (
+	metricJobs  = "grove_jobs_total"
+	metricWait  = "grove_wait_seconds"
+	metricMerge = "grove_merge_seconds"
+)
 
 func register(r *Registry, dyn string) {
 	r.Counter("grove_ops_total", "ok")
@@ -20,6 +24,15 @@ func register(r *Registry, dyn string) {
 	r.Counter(metricJobs, "names fold through constants")
 	r.Counter(`grove_hits_total{kind="read"}`, "labelled series are fine")
 	r.Counter("grove_dyn_total"+dyn, "constant prefix of a computed name is still vetted")
+	// Per-shard histogram families register one labelled series per shard with
+	// a computed label value; the constant family prefix is still vetted, and
+	// re-registering the family under the same kind with other labels is fine.
+	r.Histogram(metricWait+`{shard="`+dyn+`"}`, "ok", nil)
+	r.Histogram(metricMerge, "ok", nil)
+	r.Histogram(metricMerge+`{shard="`+dyn+`"}`, "labelled series of a known histogram family", nil)
+
+	r.Histogram("grove_waits_total", "x", nil)      // want "must not end in _total"
+	r.Counter(metricMerge+`{shard="`+dyn+`"}`, "x") // want "must end in _total" "registered both as histogram and as counter"
 
 	r.Counter("jobs_done_total", "x")              // want "must carry the grove_ prefix"
 	r.Counter("grove_ops", "x")                    // want "must end in _total"

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"grove/internal/fsio"
+)
+
+// Workload event types.
+const (
+	EventQuery = "query" // one executed query
+	EventViews = "views" // a per-view usage snapshot
+)
+
+// RecordedPath is the normalized form of an explicit aggregation path
+// (AggregateAlong): the node sequence plus its open-endpoint flags.
+type RecordedPath struct {
+	Nodes     []string `json:"nodes"`
+	OpenStart bool     `json:"openStart,omitempty"`
+	OpenEnd   bool     `json:"openEnd,omitempty"`
+}
+
+// WorkloadEvent is one line of a recorded workload log. Query events carry a
+// normalized, replayable description of the query — either parseable
+// statement text (Statement == true) or the structural element list plus
+// aggregation parameters — along with the observed outcome: duration, error,
+// and a digest of the answer so a replay can verify it reproduced identical
+// results. Views events snapshot the per-view usage counters, the feed a
+// workload-driven view advisor trains on.
+type WorkloadEvent struct {
+	Type      string `json:"type"`
+	Seq       uint64 `json:"seq"`
+	UnixNanos int64  `json:"unixNanos"`
+
+	// Query events.
+	Kind      string      `json:"kind,omitempty"`
+	Text      string      `json:"text,omitempty"`      // display or statement text
+	Statement bool        `json:"statement,omitempty"` // Text re-executes through the text grammar
+	Edges     [][2]string `json:"edges,omitempty"`     // structural elements ([x,x] = node)
+	Agg       string      `json:"agg,omitempty"`       // aggregate function name
+	Measure   string      `json:"measure,omitempty"`   // named measure ("" = default)
+
+	Paths []RecordedPath `json:"paths,omitempty"` // explicit aggregation paths
+
+	DurationNanos int64  `json:"durationNanos,omitempty"`
+	Error         string `json:"error,omitempty"`
+	Digest        string `json:"digest,omitempty"` // hex FNV-1a of the answer
+
+	// Views events.
+	ViewUsage map[string]int64 `json:"viewUsage,omitempty"`
+}
+
+// WorkloadRecorder appends workload events to a JSONL log through an fsio.FS.
+// The fsio seam has no append operation — a recorder owns its Create handle
+// for its whole lifetime, buffering writes and fsyncing on Sync/Close. Record
+// is safe for concurrent use.
+type WorkloadRecorder struct {
+	mu  sync.Mutex
+	f   fsio.File
+	w   *bufio.Writer
+	enc *json.Encoder
+	seq uint64
+}
+
+// NewWorkloadRecorder opens (truncating) a workload log at path.
+func NewWorkloadRecorder(fs fsio.FS, path string) (*WorkloadRecorder, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: workload recorder: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	return &WorkloadRecorder{f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// Record stamps ev with the next sequence number and the current time, and
+// appends it to the log.
+func (r *WorkloadRecorder) Record(ev WorkloadEvent) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return fmt.Errorf("obs: workload recorder closed")
+	}
+	r.seq++
+	ev.Seq = r.seq
+	if ev.UnixNanos == 0 {
+		ev.UnixNanos = time.Now().UnixNano()
+	}
+	return r.enc.Encode(ev)
+}
+
+// Events returns how many events were recorded so far.
+func (r *WorkloadRecorder) Events() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Sync flushes buffered events and fsyncs the log.
+func (r *WorkloadRecorder) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return fmt.Errorf("obs: workload recorder closed")
+	}
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	return r.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the log. The recorder is unusable after.
+func (r *WorkloadRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.w.Flush()
+	if serr := r.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	r.f, r.w, r.enc = nil, nil, nil
+	return err
+}
+
+// ReadWorkload parses a workload log written by a WorkloadRecorder, in
+// recorded order.
+func ReadWorkload(fs fsio.FS, path string) ([]WorkloadEvent, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read workload: %w", err)
+	}
+	defer func() { _ = f.Close() }() //grovevet:ignore droppederr read-only close after full scan
+	var out []WorkloadEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev WorkloadEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("obs: workload line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRingEvictsOldest(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowQuery{Kind: KindGraph, DurationNanos: int64(i)})
+	}
+	got := l.Recent()
+	if len(got) != 3 || l.Len() != 3 {
+		t.Fatalf("len = %d/%d, want 3", len(got), l.Len())
+	}
+	// Newest first: durations 4, 3, 2 survive.
+	for i, want := range []int64{4, 3, 2} {
+		if got[i].DurationNanos != want {
+			t.Errorf("entry %d duration = %d, want %d", i, got[i].DurationNanos, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5 including evicted entries", l.Total())
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(0, 25*time.Millisecond)
+	if l.Threshold() != 25*time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+	l.SetThreshold(time.Second)
+	if l.Threshold() != time.Second {
+		t.Fatalf("retuned threshold = %v", l.Threshold())
+	}
+	if len(l.buf) != DefaultSlowLogCapacity {
+		t.Errorf("capacity = %d, want default %d", len(l.buf), DefaultSlowLogCapacity)
+	}
+}
+
+func TestSlowLogNilSafety(t *testing.T) {
+	var l *SlowLog
+	l.Add(SlowQuery{}) // must not panic
+	if l.Recent() != nil || l.Len() != 0 || l.Total() != 0 {
+		t.Error("nil log should read as empty")
+	}
+	var sb strings.Builder
+	if err := l.WriteJSONL(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil WriteJSONL = %q, %v", sb.String(), err)
+	}
+}
+
+func TestSlowLogWriteJSONL(t *testing.T) {
+	l := NewSlowLog(4, 0)
+	l.Add(SlowQuery{Kind: KindGraph, Query: "[A,D]", Shard: 0, DurationNanos: 10})
+	l.Add(SlowQuery{Kind: KindPathAgg, Shard: ShardCoordinator, DurationNanos: 20,
+		Shards: []ShardTiming{{Shard: 0, QueueNanos: 1, DurationNanos: 2}, {Shard: 1, QueueNanos: 3, DurationNanos: 4}}})
+	var sb strings.Builder
+	if err := l.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	var first SlowQuery
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != KindPathAgg || first.Shard != ShardCoordinator || len(first.Shards) != 2 {
+		t.Errorf("newest entry = %+v, want the coordinator pathagg entry with 2 shard timings", first)
+	}
+	if first.Duration() != 20*time.Nanosecond {
+		t.Errorf("duration = %v", first.Duration())
+	}
+}

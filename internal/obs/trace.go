@@ -26,7 +26,18 @@ const (
 	PhaseAggregate   = "aggregate"    // per-record folding
 	PhaseCache       = "cache"        // answer served from the result cache
 	PhaseCancelled   = "cancelled"    // query abandoned on context cancellation
+
+	// Coordinator phases of a scatter-gathered query (DESIGN.md §8, §12).
+	PhaseFanOut    = "fan-out"    // shard sub-queries dispatched and awaited
+	PhaseQueueWait = "queue-wait" // dispatch → execution start, one span per shard
+	PhaseMerge     = "merge"      // per-shard partials combined
 )
+
+// ShardCoordinator is the Shard label of a coordinator-level root trace or
+// span — one that belongs to the scatter-gather itself rather than to any
+// single shard. Engine-emitted traces carry their shard's index (0 for a
+// single-shard store).
+const ShardCoordinator = -1
 
 // IODelta is the column-store I/O attributed to a span or trace — the same
 // counters as colstore.Stats, duplicated here so the obs package stays
@@ -64,9 +75,12 @@ func (d IODelta) Add(o IODelta) IODelta {
 	}
 }
 
-// Span is one timed phase of a query's lifecycle with its I/O delta.
+// Span is one timed phase of a query's lifecycle with its I/O delta. Shard
+// is the shard the span executed on (ShardCoordinator for coordinator-level
+// phases of a scatter-gathered query).
 type Span struct {
 	Phase         string  `json:"phase"`
+	Shard         int     `json:"shard"`
 	DurationNanos int64   `json:"durationNanos"`
 	IO            IODelta `json:"io"`
 }
@@ -74,14 +88,20 @@ type Span struct {
 // Duration returns the span's wall time.
 func (s Span) Duration() time.Duration { return time.Duration(s.DurationNanos) }
 
-// Trace is the complete record of one query's execution.
+// Trace is the complete record of one query's execution. On a sharded store
+// a scatter-gathered query records one root trace (Shard == ShardCoordinator,
+// spans fan-out / queue-wait / merge) whose Children are the per-shard engine
+// traces; a single-shard query records a flat trace with Shard 0 and no
+// Children.
 type Trace struct {
 	Kind           string  `json:"kind"`
 	Query          string  `json:"query,omitempty"`
+	Shard          int     `json:"shard"`
 	StartUnixNanos int64   `json:"startUnixNanos"`
 	DurationNanos  int64   `json:"durationNanos"`
 	Cached         bool    `json:"cached,omitempty"`
 	Spans          []Span  `json:"spans,omitempty"`
+	Children       []Trace `json:"children,omitempty"`
 	IO             IODelta `json:"io"`
 }
 
@@ -150,10 +170,39 @@ func (a *ActiveTrace) closeSpan(now time.Time, io IODelta) {
 	}
 	a.trace.Spans = append(a.trace.Spans, Span{
 		Phase:         a.spanPhase,
+		Shard:         a.trace.Shard,
 		DurationNanos: now.Sub(a.spanStart).Nanoseconds(),
 		IO:            io.Sub(a.spanIO),
 	})
 	a.spanPhase = ""
+}
+
+// SetShard labels the trace (and every span it closes from here on) with the
+// shard it executes on. Engines set their own shard index at StartTrace time;
+// a coordinator root uses ShardCoordinator.
+func (a *ActiveTrace) SetShard(shard int) {
+	if a == nil {
+		return
+	}
+	a.trace.Shard = shard
+}
+
+// AddSpan appends a pre-built span (e.g. a per-shard queue-wait measured by
+// the coordinator) without disturbing the currently open phase span.
+func (a *ActiveTrace) AddSpan(s Span) {
+	if a == nil {
+		return
+	}
+	a.trace.Spans = append(a.trace.Spans, s)
+}
+
+// AddChild attaches a finished sub-trace — a shard engine's trace of its
+// scatter-gather sub-query — to the in-flight trace.
+func (a *ActiveTrace) AddChild(t Trace) {
+	if a == nil {
+		return
+	}
+	a.trace.Children = append(a.trace.Children, t)
 }
 
 // SetCached marks the trace as served from the result cache.

@@ -30,12 +30,17 @@ func (e *Engine) ExecuteStatement(text string) (*StatementResult, error) {
 // between column fetches and per-path aggregation chunks.
 func (e *Engine) ExecuteStatementContext(ctx context.Context, text string) (*StatementResult, error) {
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || e.slow != nil {
 		start = time.Now()
+	}
+	var slowIO obs.IODelta
+	if e.slow != nil {
+		slowIO = e.ioNow()
 	}
 	var tr *obs.ActiveTrace
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindStatement, text, e.ioNow())
+		tr.SetShard(e.shardID)
 	}
 	res, err := e.executeStatement(ctx, text, tr)
 	if tr != nil {
@@ -43,6 +48,9 @@ func (e *Engine) ExecuteStatementContext(ctx context.Context, text string) (*Sta
 	}
 	if e.metrics != nil && err == nil {
 		e.metrics.Record(obs.KindStatement, time.Since(start))
+	}
+	if e.slow != nil {
+		e.slowObserve(obs.KindStatement, text, start, slowIO, false, err)
 	}
 	return res, err
 }
@@ -77,15 +85,23 @@ func (e *Engine) executeStatement(ctx context.Context, text string, tr *obs.Acti
 // lifecycle trace of one real execution: per-phase wall time and the I/O the
 // column store actually performed. Executed single-threaded — as
 // ExplainAnalyze runs it — the observed I/O deltas are exact, so
-// Trace.IO.BitmapColumnsFetched equals Plan.BitmapsFetched.
+// Trace.IO.BitmapColumnsFetched equals Plan.BitmapsFetched on a single
+// shard, and on a sharded store the root trace's I/O equals the sum over
+// Trace.Children (one child per shard, each fetching the plan's columns
+// against its own slice of the records).
 type ExplainAnalysis struct {
 	Plan    Explanation
 	Trace   obs.Trace
 	Records int
+
+	// Answer is the analyzed execution's record-id set — what differential
+	// tests compare bit-for-bit across shard counts.
+	Answer *bitmap.Bitmap
 }
 
 // String renders the plan followed by the observed per-phase breakdown, in
-// the spirit of SQL EXPLAIN ANALYZE.
+// the spirit of SQL EXPLAIN ANALYZE. For a scatter-gathered execution the
+// coordinator phases are followed by one summary line per shard child.
 func (a *ExplainAnalysis) String() string {
 	var b strings.Builder
 	b.WriteString(a.Plan.String())
@@ -96,6 +112,11 @@ func (a *ExplainAnalysis) String() string {
 		fmt.Fprintf(&b, "  %-12s %12v  bitmaps=%d measures=%d bytes=%d\n",
 			s.Phase, s.Duration(), s.IO.BitmapColumnsFetched,
 			s.IO.MeasureColumnsFetched, s.IO.BytesRead)
+	}
+	for _, c := range a.Trace.Children {
+		fmt.Fprintf(&b, "  shard %-6d %12v  bitmaps=%d measures=%d bytes=%d records=%d\n",
+			c.Shard, c.Duration(), c.IO.BitmapColumnsFetched,
+			c.IO.MeasureColumnsFetched, c.IO.BytesRead, c.IO.RecordsReturned)
 	}
 	return b.String()
 }
@@ -113,13 +134,15 @@ func (e *Engine) ExplainAnalyze(q *GraphQuery) (*ExplainAnalysis, error) {
 	run := e.Clone()
 	run.cache = nil
 	run.metrics = nil
+	run.slow = nil
 	ring := obs.NewTraceRing(1)
 	run.traces = ring
 	res, err := run.ExecuteGraphQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return &ExplainAnalysis{Plan: plan, Trace: ring.Recent()[0], Records: res.NumRecords()}, nil
+	return &ExplainAnalysis{Plan: plan, Trace: ring.Recent()[0],
+		Records: res.NumRecords(), Answer: res.Answer}, nil
 }
 
 // ExplainAnalyzeGraph is a convenience wrapper over ExplainAnalyze for a

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -44,11 +45,18 @@ type Engine struct {
 	// metrics, when set, records per-query counters and latency histograms
 	// (allocation-free). traces, when set, records a span-based lifecycle
 	// trace per query into the ring (one allocation per query plus span
-	// appends). Both default to nil: the disabled path costs two nil checks
-	// and nothing else. Set them before serving queries (like EnableCache,
-	// mutating mid-flight is not synchronized).
+	// appends). slow, when set, records queries over its latency threshold
+	// into a bounded structured log (sub-threshold queries pay one clock read
+	// and an atomic load). All default to nil: the disabled path costs three
+	// nil checks and nothing else. Set them before serving queries (like
+	// EnableCache, mutating mid-flight is not synchronized).
 	metrics *obs.QueryMetrics
 	traces  *obs.TraceRing
+	slow    *obs.SlowLog
+
+	// shardID labels this engine's traces and slow-log entries with the
+	// shard it executes (0 for a single-relation store).
+	shardID int
 }
 
 // bmsPool recycles the operand slices of the structural AND phase across
@@ -67,7 +75,8 @@ func NewEngine(rel *colstore.Relation, reg *graph.Registry) *Engine {
 func (e *Engine) Clone() *Engine {
 	return &Engine{Rel: e.Rel, Reg: e.Reg, UseViews: e.UseViews,
 		ParallelPaths: e.ParallelPaths, cache: e.cache,
-		metrics: e.metrics, traces: e.traces}
+		metrics: e.metrics, traces: e.traces, slow: e.slow,
+		shardID: e.shardID}
 }
 
 // SetMetrics attaches a metrics bundle (nil disables). Attach before
@@ -80,6 +89,44 @@ func (e *Engine) SetTraces(t *obs.TraceRing) { e.traces = t }
 
 // Traces returns the attached trace ring (nil when tracing is disabled).
 func (e *Engine) Traces() *obs.TraceRing { return e.traces }
+
+// SetSlowLog attaches a slow-query log (nil disables). Attach before serving
+// queries. Batch workers inherit it through Clone.
+func (e *Engine) SetSlowLog(l *obs.SlowLog) { e.slow = l }
+
+// SlowLog returns the attached slow-query log (nil when disabled).
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
+
+// SetShard labels the engine with the shard index it executes, stamped onto
+// every trace and slow-log entry it emits.
+func (e *Engine) SetShard(id int) { e.shardID = id }
+
+// Shard returns the engine's shard index.
+func (e *Engine) Shard() int { return e.shardID }
+
+// slowObserve appends a slow-log entry when the finished query crossed the
+// log's latency threshold. startIO is the tracker snapshot taken at query
+// start (exact only single-threaded, like trace I/O deltas).
+func (e *Engine) slowObserve(kind, qstr string, start time.Time, startIO obs.IODelta, cached bool, err error) {
+	d := time.Since(start)
+	if d < e.slow.Threshold() {
+		return
+	}
+	sq := obs.SlowQuery{
+		Kind:           kind,
+		Query:          qstr,
+		Shard:          e.shardID,
+		StartUnixNanos: start.UnixNano(),
+		DurationNanos:  d.Nanoseconds(),
+		Cached:         cached,
+		IO:             e.ioNow().Sub(startIO),
+	}
+	if err != nil {
+		sq.Error = err.Error()
+		sq.Cancelled = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
+	e.slow.Add(sq)
+}
 
 // Cache returns the attached result cache (nil when caching is disabled).
 func (e *Engine) Cache() *ResultCache { return e.cache }
@@ -179,12 +226,17 @@ func (e *Engine) ExecuteGraphQueryContext(ctx context.Context, q *GraphQuery) (*
 		return nil, fmt.Errorf("query: empty graph query")
 	}
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || e.slow != nil {
 		start = time.Now()
+	}
+	var slowIO obs.IODelta
+	if e.slow != nil {
+		slowIO = e.ioNow()
 	}
 	var tr *obs.ActiveTrace
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindGraph, q.String(), e.ioNow())
+		tr.SetShard(e.shardID)
 	}
 	res, err := func() (*Result, error) {
 		e.Rel.BeginRead()
@@ -196,6 +248,9 @@ func (e *Engine) ExecuteGraphQueryContext(ctx context.Context, q *GraphQuery) (*
 	}
 	if e.metrics != nil && err == nil {
 		e.metrics.Record(obs.KindGraph, time.Since(start))
+	}
+	if e.slow != nil {
+		e.slowObserve(obs.KindGraph, q.String(), start, slowIO, res != nil && res.cached, err)
 	}
 	return res, err
 }
@@ -371,12 +426,17 @@ func (e *Engine) EvalExpr(expr Expr) (*bitmap.Bitmap, error) {
 // leaves' bitmap fetches.
 func (e *Engine) EvalExprContext(ctx context.Context, expr Expr) (*bitmap.Bitmap, error) {
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || e.slow != nil {
 		start = time.Now()
+	}
+	var slowIO obs.IODelta
+	if e.slow != nil {
+		slowIO = e.ioNow()
 	}
 	var tr *obs.ActiveTrace
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindExpr, expr.String(), e.ioNow())
+		tr.SetShard(e.shardID)
 	}
 	b, err := func() (*bitmap.Bitmap, error) {
 		e.Rel.BeginRead()
@@ -388,6 +448,9 @@ func (e *Engine) EvalExprContext(ctx context.Context, expr Expr) (*bitmap.Bitmap
 	}
 	if e.metrics != nil && err == nil {
 		e.metrics.Record(obs.KindExpr, time.Since(start))
+	}
+	if e.slow != nil {
+		e.slowObserve(obs.KindExpr, expr.String(), start, slowIO, false, err)
 	}
 	return b, err
 }
@@ -565,12 +628,17 @@ func (e *Engine) ExecutePathAggQuery(q *PathAggQuery) (*AggResult, error) {
 // per-path aggregation chunks.
 func (e *Engine) ExecutePathAggQueryContext(ctx context.Context, q *PathAggQuery) (*AggResult, error) {
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || e.slow != nil {
 		start = time.Now()
+	}
+	var slowIO obs.IODelta
+	if e.slow != nil {
+		slowIO = e.ioNow()
 	}
 	var tr *obs.ActiveTrace
 	if e.traces != nil {
 		tr = obs.StartTrace(obs.KindPathAgg, q.String(), e.ioNow())
+		tr.SetShard(e.shardID)
 	}
 	res, err := e.executePathAggQuery(ctx, q, tr)
 	if tr != nil {
@@ -578,6 +646,9 @@ func (e *Engine) ExecutePathAggQueryContext(ctx context.Context, q *PathAggQuery
 	}
 	if e.metrics != nil && err == nil {
 		e.metrics.Record(obs.KindPathAgg, time.Since(start))
+	}
+	if e.slow != nil {
+		e.slowObserve(obs.KindPathAgg, q.String(), start, slowIO, false, err)
 	}
 	return res, err
 }

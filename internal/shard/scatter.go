@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"grove/internal/bitmap"
+	"grove/internal/obs"
 	"grove/internal/query"
 )
 
@@ -107,6 +109,177 @@ func preferErr(cur, next error) error {
 	return cur
 }
 
+// --- observed scatter --------------------------------------------------------
+
+// subOut carries one shard's sub-query value plus the observability
+// byproducts runScattered collects: the captured engine trace and the
+// queue-wait/execution timings.
+type subOut[T any] struct {
+	v      T
+	child  obs.Trace
+	traced bool
+	wait   time.Duration
+	dur    time.Duration
+}
+
+// runScattered executes one logical query across every shard of a multi-shard
+// coordinator and merges the partials. kind and qstr name the query for the
+// root trace and the slow log (qstr may be empty when neither is attached —
+// callers skip rendering it to keep the disabled path allocation-free).
+//
+// With no observability hooks attached this is exactly scatter + merge. With
+// tracing on, each shard sub-query runs on an engine clone holding a private
+// one-slot capture ring, and the coordinator records one hierarchical root
+// trace: a fan-out span covering the scatter, one queue-wait span per shard
+// (dispatch → sub-query start), the per-shard engine traces as children, and
+// a merge span. With the slow log on, the clone detaches the engine-level
+// log — the coordinator records one merged entry per logical query with
+// per-shard timings instead of N fragments. Queue-wait and merge histograms
+// are observed when attached.
+func runScattered[T, R any](ctx context.Context, c *Coordinator, kind, qstr string,
+	run func(ctx context.Context, eng *query.Engine, u *Unit) (T, error),
+	merge func(subs []T) R) (R, error) {
+
+	var zero R
+	ring, slow := c.traces, c.slow
+	var start time.Time
+	var startIO obs.IODelta
+	if slow != nil {
+		start = time.Now()
+		startIO = c.ioNow()
+	}
+	var root *obs.ActiveTrace
+	if ring != nil {
+		root = obs.StartTrace(kind, qstr, c.ioNow())
+		root.SetShard(obs.ShardCoordinator)
+		root.Begin(obs.PhaseFanOut, c.ioNow())
+	}
+	capture := root != nil
+	clone := capture || slow != nil
+	timed := clone || c.queueWait != nil
+	var dispatch time.Time
+	if timed {
+		dispatch = time.Now()
+	}
+	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (subOut[T], error) {
+		var out subOut[T]
+		var begun time.Time
+		if timed {
+			begun = time.Now()
+			out.wait = begun.Sub(dispatch)
+			if c.queueWait != nil {
+				c.queueWait[s].Observe(out.wait.Seconds())
+			}
+		}
+		eng := u.Eng
+		var cring *obs.TraceRing
+		if clone {
+			eng = eng.Clone()
+			eng.SetSlowLog(nil)
+			if capture {
+				cring = obs.NewTraceRing(1)
+				eng.SetTraces(cring)
+			} else {
+				eng.SetTraces(nil)
+			}
+		}
+		v, err := run(ctx, eng, u)
+		if timed {
+			out.dur = time.Since(begun)
+		}
+		if cring != nil {
+			if rec := cring.Recent(); len(rec) > 0 {
+				out.child = rec[0]
+				out.traced = true
+			}
+		}
+		if err != nil {
+			return out, err
+		}
+		out.v = v
+		return out, nil
+	})
+	if err != nil {
+		// The per-shard results (and their captured traces) are discarded by
+		// scatter on error; the root still records the failed fan-out.
+		if root != nil {
+			ring.Add(root.Finish(c.ioNow()))
+		}
+		if slow != nil {
+			c.slowObserve(kind, qstr, start, startIO, nil, err)
+		}
+		return zero, err
+	}
+	if root != nil {
+		root.Begin(obs.PhaseMerge, c.ioNow()) // closes the fan-out span
+		for s, sb := range subs {
+			root.AddSpan(obs.Span{Phase: obs.PhaseQueueWait, Shard: s,
+				DurationNanos: sb.wait.Nanoseconds()})
+		}
+		for _, sb := range subs {
+			if sb.traced {
+				root.AddChild(sb.child)
+			}
+		}
+	}
+	vals := make([]T, len(subs))
+	for i, sb := range subs {
+		vals[i] = sb.v
+	}
+	var mstart time.Time
+	if c.mergeDur != nil {
+		mstart = time.Now()
+	}
+	out := merge(vals)
+	if c.mergeDur != nil {
+		c.mergeDur.Observe(time.Since(mstart).Seconds())
+	}
+	if root != nil {
+		ring.Add(root.Finish(c.ioNow()))
+	}
+	if slow != nil {
+		timings := make([]obs.ShardTiming, len(subs))
+		for s, sb := range subs {
+			timings[s] = obs.ShardTiming{Shard: s,
+				QueueNanos: sb.wait.Nanoseconds(), DurationNanos: sb.dur.Nanoseconds()}
+		}
+		c.slowObserve(kind, qstr, start, startIO, timings, nil)
+	}
+	return out, nil
+}
+
+// slowObserve appends a coordinator-level slow-log entry when the finished
+// scatter-gather crossed the log's latency threshold.
+func (c *Coordinator) slowObserve(kind, qstr string, start time.Time, startIO obs.IODelta, shards []obs.ShardTiming, err error) {
+	d := time.Since(start)
+	if d < c.slow.Threshold() {
+		return
+	}
+	sq := obs.SlowQuery{
+		Kind:           kind,
+		Query:          qstr,
+		Shard:          obs.ShardCoordinator,
+		StartUnixNanos: start.UnixNano(),
+		DurationNanos:  d.Nanoseconds(),
+		IO:             c.ioNow().Sub(startIO),
+		Shards:         shards,
+	}
+	if err != nil {
+		sq.Error = err.Error()
+		sq.Cancelled = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
+	c.slow.Add(sq)
+}
+
+// queryName renders a query's display string only when an observability hook
+// needs it, so the disabled scatter path never pays the rendering.
+func (c *Coordinator) queryName(s fmt.Stringer) string {
+	if c.traces == nil && c.slow == nil {
+		return ""
+	}
+	return s.String()
+}
+
 // --- graph queries -----------------------------------------------------------
 
 // mergeResults combines per-shard graph-query results: the global answer is
@@ -134,13 +307,11 @@ func (c *Coordinator) MatchContext(ctx context.Context, q *query.GraphQuery) (*q
 		defer u.pending.Add(-1)
 		return u.Eng.ExecuteGraphQueryContext(ctx, q)
 	}
-	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*query.Result, error) {
-		return u.Eng.ExecuteGraphQueryContext(ctx, q)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return c.mergeResults(q, subs), nil
+	return runScattered(ctx, c, obs.KindGraph, c.queryName(q),
+		func(ctx context.Context, eng *query.Engine, u *Unit) (*query.Result, error) {
+			return eng.ExecuteGraphQueryContext(ctx, q)
+		},
+		func(subs []*query.Result) *query.Result { return c.mergeResults(q, subs) })
 }
 
 // EvalExprContext evaluates a boolean expression over graph queries across
@@ -148,13 +319,24 @@ func (c *Coordinator) MatchContext(ctx context.Context, q *query.GraphQuery) (*q
 // each shard evaluates the whole expression locally and the global answer is
 // the translated union.
 func (c *Coordinator) EvalExprContext(ctx context.Context, expr query.Expr) (*bitmap.Bitmap, error) {
-	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*bitmap.Bitmap, error) {
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
 		return u.Eng.EvalExprContext(ctx, expr)
-	})
-	if err != nil {
-		return nil, err
 	}
-	return c.mergeBitmaps(subs), nil
+	return c.evalScattered(ctx, obs.KindExpr, c.queryName(expr), expr)
+}
+
+// evalScattered is the multi-shard expression evaluation body, parameterized
+// on the trace/slow-log labels so sharded statements can reuse it under the
+// "statement" kind with the statement's text.
+func (c *Coordinator) evalScattered(ctx context.Context, kind, qstr string, expr query.Expr) (*bitmap.Bitmap, error) {
+	return runScattered(ctx, c, kind, qstr,
+		func(ctx context.Context, eng *query.Engine, u *Unit) (*bitmap.Bitmap, error) {
+			return eng.EvalExprContext(ctx, expr)
+		},
+		func(subs []*bitmap.Bitmap) *bitmap.Bitmap { return c.mergeBitmaps(subs) })
 }
 
 // --- path aggregation --------------------------------------------------------
@@ -212,13 +394,17 @@ func (c *Coordinator) AggregateContext(ctx context.Context, q *query.PathAggQuer
 		defer u.pending.Add(-1)
 		return u.Eng.ExecutePathAggQueryContext(ctx, q)
 	}
-	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (*query.AggResult, error) {
-		return u.Eng.ExecutePathAggQueryContext(ctx, q)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return c.mergeAgg(q, subs), nil
+	return c.aggregateScattered(ctx, obs.KindPathAgg, c.queryName(q), q)
+}
+
+// aggregateScattered is the multi-shard path-aggregation body, parameterized
+// on the trace/slow-log labels (see evalScattered).
+func (c *Coordinator) aggregateScattered(ctx context.Context, kind, qstr string, q *query.PathAggQuery) (*query.AggResult, error) {
+	return runScattered(ctx, c, kind, qstr,
+		func(ctx context.Context, eng *query.Engine, u *Unit) (*query.AggResult, error) {
+			return eng.ExecutePathAggQueryContext(ctx, q)
+		},
+		func(subs []*query.AggResult) *query.AggResult { return c.mergeAgg(q, subs) })
 }
 
 // --- statements --------------------------------------------------------------
@@ -236,14 +422,18 @@ func (c *Coordinator) ExecuteStatementContext(ctx context.Context, text string) 
 	if err != nil {
 		return nil, err
 	}
+	// The coordinator parses once and scatters the parsed form, so — unlike
+	// the single-shard path — the root trace carries no parse span; it is
+	// labelled with the statement kind and text, and the per-shard children
+	// trace under their own execution kind.
 	if stmt.Agg != nil {
-		res, err := c.AggregateContext(ctx, stmt.Agg)
+		res, err := c.aggregateScattered(ctx, obs.KindStatement, text, stmt.Agg)
 		if err != nil {
 			return nil, err
 		}
 		return &query.StatementResult{Agg: res}, nil
 	}
-	ids, err := c.EvalExprContext(ctx, stmt.Expr)
+	ids, err := c.evalScattered(ctx, obs.KindStatement, text, stmt.Expr)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +475,14 @@ func (c *Coordinator) ExecuteGraphBatchContext(ctx context.Context, queries []*q
 		res  []*query.Result
 		errs []error
 	}
+	var dispatch time.Time
+	if c.queueWait != nil {
+		dispatch = time.Now()
+	}
 	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (shardOut, error) {
+		if c.queueWait != nil {
+			c.queueWait[s].Observe(time.Since(dispatch).Seconds())
+		}
 		res, errs := query.NewBatchExecutor(u.Eng, per).ExecuteGraphQueriesContext(ctx, queries)
 		return shardOut{res: res, errs: errs}, nil
 	})
@@ -298,6 +495,10 @@ func (c *Coordinator) ExecuteGraphBatchContext(ctx context.Context, queries []*q
 		return out, outErrs
 	}
 	subsI := make([]*query.Result, len(subs))
+	var mstart time.Time
+	if c.mergeDur != nil {
+		mstart = time.Now()
+	}
 	for i, q := range queries {
 		var qerr error
 		for s := range subs {
@@ -309,6 +510,9 @@ func (c *Coordinator) ExecuteGraphBatchContext(ctx context.Context, queries []*q
 			continue
 		}
 		out[i] = c.mergeResults(q, append([]*query.Result(nil), subsI...))
+	}
+	if c.mergeDur != nil {
+		c.mergeDur.Observe(time.Since(mstart).Seconds())
 	}
 	return out, outErrs
 }
@@ -327,7 +531,14 @@ func (c *Coordinator) ExecutePathAggBatchContext(ctx context.Context, queries []
 		res  []*query.AggResult
 		errs []error
 	}
+	var dispatch time.Time
+	if c.queueWait != nil {
+		dispatch = time.Now()
+	}
 	subs, err := scatter(ctx, c, func(ctx context.Context, s int, u *Unit) (shardOut, error) {
+		if c.queueWait != nil {
+			c.queueWait[s].Observe(time.Since(dispatch).Seconds())
+		}
 		res, errs := query.NewBatchExecutor(u.Eng, per).ExecutePathAggQueriesContext(ctx, queries)
 		return shardOut{res: res, errs: errs}, nil
 	})
@@ -340,6 +551,10 @@ func (c *Coordinator) ExecutePathAggBatchContext(ctx context.Context, queries []
 		return out, outErrs
 	}
 	subsI := make([]*query.AggResult, len(subs))
+	var mstart time.Time
+	if c.mergeDur != nil {
+		mstart = time.Now()
+	}
 	for i, q := range queries {
 		var qerr error
 		for s := range subs {
@@ -351,6 +566,9 @@ func (c *Coordinator) ExecutePathAggBatchContext(ctx context.Context, queries []
 			continue
 		}
 		out[i] = c.mergeAgg(q, subsI)
+	}
+	if c.mergeDur != nil {
+		c.mergeDur.Observe(time.Since(mstart).Seconds())
 	}
 	return out, outErrs
 }

@@ -67,6 +67,20 @@ type Coordinator struct {
 	// serializes its generation sequence; this one keeps the cross-shard
 	// manifest consistent with one save at a time).
 	saveMu sync.Mutex
+
+	// Observability hooks, all nil by default (the disabled scatter path pays
+	// only nil checks). traces is the coordinator-owned ring: with N > 1 a
+	// scatter-gathered query records one hierarchical root trace (fan-out /
+	// queue-wait / merge spans, per-shard engine traces as children); the ring
+	// is also attached to every shard engine so batch sub-queries — executed
+	// whole-batch per shard — record flat, shard-labelled traces. slow is the
+	// shared slow-query log. queueWait (one histogram per shard) and mergeDur
+	// observe scatter dispatch latency and merge wall time. Attach all of them
+	// before serving queries, like Engine.SetTraces.
+	traces    *obs.TraceRing
+	slow      *obs.SlowLog
+	queueWait []*obs.Histogram
+	mergeDur  *obs.Histogram
 }
 
 // New creates a coordinator over n empty shards (n < 1 is clamped to 1) with
@@ -88,8 +102,10 @@ func New(n, partitionWidth int) *Coordinator {
 func NewFromRelations(rels []*colstore.Relation, reg *graph.Registry) *Coordinator {
 	c := &Coordinator{reg: reg}
 	total := 0
-	for _, rel := range rels {
-		c.units = append(c.units, &Unit{Rel: rel, Eng: query.NewEngine(rel, reg)})
+	for i, rel := range rels {
+		eng := query.NewEngine(rel, reg)
+		eng.SetShard(i) // label every engine-emitted trace span with its shard
+		c.units = append(c.units, &Unit{Rel: rel, Eng: eng})
 		total += rel.NumRecords()
 	}
 	// Resume the round-robin cursor past the loaded records so ingest stays
@@ -369,12 +385,43 @@ func (c *Coordinator) SetMetrics(m *obs.QueryMetrics) {
 	}
 }
 
-// SetTraces attaches one shared trace ring to every shard engine (nil
-// disables). With N > 1, one logical query records one trace per shard.
+// SetTraces attaches a trace ring (nil disables). The coordinator owns it:
+// with N > 1 each scatter-gathered query records one hierarchical root trace
+// whose children are the per-shard engine traces. The ring is also attached
+// to every shard engine, so batch sub-queries (executed whole-batch per
+// shard) record flat traces labelled with their shard id.
 func (c *Coordinator) SetTraces(t *obs.TraceRing) {
+	c.traces = t
 	for _, u := range c.units {
 		u.Eng.SetTraces(t)
 	}
+}
+
+// Traces returns the coordinator's trace ring (nil when tracing is off).
+func (c *Coordinator) Traces() *obs.TraceRing { return c.traces }
+
+// SetSlowLog attaches a slow-query log (nil disables). Single-query scatter
+// paths record one coordinator-level entry per logical query with per-shard
+// timings; batch sub-queries record per-shard entries through the engines.
+func (c *Coordinator) SetSlowLog(l *obs.SlowLog) {
+	c.slow = l
+	for _, u := range c.units {
+		u.Eng.SetSlowLog(l)
+	}
+}
+
+// SlowLog returns the attached slow-query log (nil when disabled).
+func (c *Coordinator) SlowLog() *obs.SlowLog { return c.slow }
+
+// SetScatterHistograms attaches the scatter latency observers: queueWait[s]
+// records shard s's dispatch→execution wait and merge records the gather
+// phase's merge wall time. len(queueWait) must equal NumShards; nil detaches.
+func (c *Coordinator) SetScatterHistograms(queueWait []*obs.Histogram, merge *obs.Histogram) {
+	if queueWait != nil && len(queueWait) != len(c.units) {
+		queueWait = nil
+	}
+	c.queueWait = queueWait
+	c.mergeDur = merge
 }
 
 // SetSnapshotKeep sets the per-shard snapshot retention.
@@ -502,5 +549,22 @@ func (c *Coordinator) IOStats() colstore.Stats {
 func (c *Coordinator) ResetIOStats() {
 	for _, u := range c.units {
 		u.Rel.Tracker().Reset()
+	}
+}
+
+// ioNow converts the summed shard trackers into the obs I/O shape — the
+// coordinator-level analogue of Engine.ioNow, used for root-trace deltas.
+// Exact while nothing else touches the trackers; on a live store the fan-out
+// span's delta is the aggregate of all concurrent shard work, while the
+// per-shard child traces carry each shard's own exact deltas.
+func (c *Coordinator) ioNow() obs.IODelta {
+	s := c.IOStats()
+	return obs.IODelta{
+		BitmapColumnsFetched:  int64(s.BitmapColumnsFetched),
+		MeasureColumnsFetched: int64(s.MeasureColumnsFetched),
+		MeasuresScanned:       s.MeasuresScanned,
+		BytesRead:             s.BytesRead,
+		PartitionJoins:        s.PartitionJoins,
+		RecordsReturned:       s.RecordsReturned,
 	}
 }

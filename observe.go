@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"time"
 
 	"grove/internal/colstore"
 	"grove/internal/obs"
@@ -23,11 +24,20 @@ type (
 	Trace = obs.Trace
 	// TraceSpan is one timed phase of a trace.
 	TraceSpan = obs.Span
+	// IODelta is the column-store I/O attributed to a trace, span, or
+	// slow-query entry.
+	IODelta = obs.IODelta
 	// CacheStats is the result cache's cumulative hit/miss/eviction counts.
 	CacheStats = query.CacheStats
 	// ExplainAnalysis pairs a query's predicted plan with the observed
 	// per-phase timings and I/O of one real execution.
 	ExplainAnalysis = query.ExplainAnalysis
+	// SlowQuery is one structured slow-query log entry (JSONL shape served by
+	// /debug/slow and `grovecli slow`).
+	SlowQuery = obs.SlowQuery
+	// ShardTiming is one shard's queue-wait/execution breakdown inside a
+	// scatter-gathered SlowQuery.
+	ShardTiming = obs.ShardTiming
 )
 
 // Store-level metric families (engine families live in internal/obs).
@@ -62,6 +72,13 @@ const (
 	MetricShardQueueDepth = "grove_shard_queue_depth"
 	MetricShardCacheHits  = "grove_shard_cache_hits_total"
 	MetricShardSizeBytes  = "grove_shard_size_bytes"
+
+	// Scatter-gather phase latencies (DESIGN.md §8): per-shard dispatch →
+	// execution-start wait, and the coordinator's merge phase.
+	MetricShardQueueWait = "grove_shard_queue_wait_seconds"
+	MetricScatterMerge   = "grove_scatter_merge_seconds"
+
+	MetricSlowQueries = "grove_slow_queries_total"
 )
 
 // ioSink mirrors the column store's accounting events into registry
@@ -155,7 +172,7 @@ func (s *Store) Metrics() *MetricsRegistry {
 	r.GaugeFunc(MetricStorePartitions, "Vertical partitions of the master relation (widest shard).",
 		func() float64 { return float64(s.coord.MaxPartitions()) })
 	r.CounterFunc(MetricTracesRecordedTotal, "Query traces recorded (including ones evicted from the ring).",
-		func() float64 { return float64(s.eng.Traces().Total()) })
+		func() float64 { return float64(s.coord.Traces().Total()) })
 
 	r.GaugeFunc(MetricStoreShards, "Shards the record collection is partitioned into.",
 		func() float64 { return float64(s.coord.NumShards()) })
@@ -195,6 +212,23 @@ func (s *Store) Metrics() *MetricsRegistry {
 			}
 			return out
 		})
+
+	// Scatter-gather phase histograms: one queue-wait series per shard plus
+	// the coordinator's merge latency. Registered eagerly (even for a
+	// single-shard store, where they stay at zero) so dashboards see stable
+	// families across reshards.
+	queueWait := make([]*obs.Histogram, s.coord.NumShards())
+	for i := range queueWait {
+		queueWait[i] = r.Histogram(
+			MetricShardQueueWait+"{"+obs.Labels("shard", strconv.Itoa(i))+"}",
+			"Scatter-gather sub-query wait from dispatch to execution start, per shard.", nil)
+	}
+	mergeDur := r.Histogram(MetricScatterMerge,
+		"Coordinator merge-phase latency of scatter-gathered queries.", nil)
+	s.coord.SetScatterHistograms(queueWait, mergeDur)
+
+	r.CounterFunc(MetricSlowQueries, "Queries recorded in the slow-query log (including evicted entries).",
+		func() float64 { return float64(s.coord.SlowLog().Total()) })
 	return s.metrics
 }
 
@@ -202,8 +236,10 @@ func (s *Store) Metrics() *MetricsRegistry {
 // query (capacity ≤ 0 selects a default of 128). Tracing costs one
 // allocation per query plus one per phase span, which is why it is opt-in;
 // with tracing off the query path pays a single nil check.
-// On a sharded store one ring is shared by every shard engine, so one
-// logical query records one trace per shard sub-query.
+// On a sharded store a scatter-gathered query records one hierarchical root
+// trace — coordinator fan-out / per-shard queue-wait / merge spans, with each
+// shard engine's trace attached as a child — while batch sub-queries record
+// flat shard-labelled traces into the same ring.
 func (s *Store) EnableTracing(capacity int) {
 	s.coord.SetTraces(obs.NewTraceRing(capacity))
 }
@@ -213,7 +249,33 @@ func (s *Store) DisableTracing() { s.coord.SetTraces(nil) }
 
 // RecentTraces returns the recorded traces, newest first (nil when tracing
 // was never enabled). Traces marshal to JSON.
-func (s *Store) RecentTraces() []Trace { return s.eng.Traces().Recent() }
+func (s *Store) RecentTraces() []Trace { return s.coord.Traces().Recent() }
+
+// EnableSlowQueryLog attaches a bounded ring recording a structured entry —
+// query text, kind, duration, I/O delta, cache/cancellation state, and on a
+// sharded store the per-shard queue-wait/execution breakdown — for every
+// query at or above threshold (0 logs every query; capacity ≤ 0 selects a
+// default of 128). Read it back with SlowQueries, /debug/slow, or
+// `grovecli slow`. Off by default: with no log attached the query path pays
+// a single nil check.
+func (s *Store) EnableSlowQueryLog(capacity int, threshold time.Duration) {
+	s.coord.SetSlowLog(obs.NewSlowLog(capacity, threshold))
+}
+
+// DisableSlowQueryLog detaches the slow-query log.
+func (s *Store) DisableSlowQueryLog() { s.coord.SetSlowLog(nil) }
+
+// SetSlowQueryThreshold retunes the attached log's latency threshold without
+// dropping recorded entries. No-op when the log is not enabled.
+func (s *Store) SetSlowQueryThreshold(threshold time.Duration) {
+	if l := s.coord.SlowLog(); l != nil {
+		l.SetThreshold(threshold)
+	}
+}
+
+// SlowQueries returns the recorded slow-query entries, newest first (nil when
+// the log was never enabled). Entries marshal to JSON.
+func (s *Store) SlowQueries() []SlowQuery { return s.coord.SlowLog().Recent() }
 
 // CacheStats returns the result cache's cumulative counters, summed across
 // all shards (zero when no cache is attached).
@@ -226,8 +288,9 @@ func (s *Store) ViewUsage() map[string]int64 { return s.coord.ViewUsage() }
 // ServeMetrics starts an HTTP server on addr (use ":0" for an ephemeral
 // port; read it back with Addr) exposing:
 //
-//	/metrics  the registry in Prometheus text format
-//	/traces   the recent query traces as JSON, newest first
+//	/metrics     the registry in Prometheus text format
+//	/traces      the recent query traces as JSON, newest first
+//	/debug/slow  the slow-query log as JSONL, newest first
 //
 // The registry is created on first call (see Metrics). Close the returned
 // server to stop it.
@@ -245,13 +308,19 @@ func (s *Store) ServeMetrics(addr string) (*MetricsServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(traces)
 	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.coord.SlowLog().WriteJSONL(w)
+	})
 	return obs.Serve(addr, mux)
 }
 
 // ExplainAnalyze computes a graph query's plan and executes it once with
 // tracing forced on, returning predicted cost and observed per-phase wall
 // time and I/O together. The run bypasses the result cache, so the observed
-// bitmap-fetch count equals the plan's BitmapsFetched.
+// bitmap-fetch count equals the plan's BitmapsFetched. On a sharded store the
+// analysis's root trace carries one child per shard and its observed I/O is
+// the exact sum over the children (see Coordinator.ExplainAnalyze).
 func (s *Store) ExplainAnalyze(g *Graph) (*ExplainAnalysis, error) {
-	return s.eng.ExplainAnalyzeGraph(g)
+	return s.coord.ExplainAnalyzeGraph(g)
 }
