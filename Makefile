@@ -8,12 +8,17 @@ build:
 test: build
 	$(GO) test ./...
 
-# Project-specific static analysis (internal/lint via cmd/grovevet): the
-# colstore lock protocol, dropped errors, fsio-mediated persistence I/O,
-# metric naming, the stdlib-only dependency policy, and sync/atomic hygiene.
-# Exits non-zero on findings.
+# Project-specific static analysis (internal/lint via cmd/grovevet). Two
+# tiers: per-function syntax/type checks (the colstore lock protocol, dropped
+# errors, fsio-mediated persistence I/O, metric naming, the stdlib-only
+# dependency policy, sync/atomic hygiene) and interprocedural dataflow over a
+# module-wide call graph (context threading, goroutine join/recovery, lock
+# ordering and blocking-under-lock, compiler-verified allocation-free
+# //grove:hotpath functions). Exits non-zero on findings; -deadline doubles
+# as the lint-runtime smoke — the whole suite, including the hotalloc
+# `go build -gcflags=-m` pass, must finish inside 30s or the gate fails.
 lint:
-	$(GO) run ./cmd/grovevet
+	$(GO) run ./cmd/grovevet -deadline 30s
 
 # Race-detector gate for the concurrent read path: vet everything, then run
 # the packages that share state across goroutines (engine scratch pool,

@@ -6,45 +6,77 @@
 //
 // Usage:
 //
-//	grovevet [-C dir] [-v]
+//	grovevet [-C dir] [-v] [-json] [-deadline d]
 //
 // -C selects the module directory (default "."); -v lists the analyzers and
-// loaded packages before the findings.
+// loaded packages before the findings; -json emits one JSON object per
+// finding (file/line/col/analyzer/message) instead of the human format;
+// -deadline fails the run (exit 3) when the whole analysis exceeds d — the
+// lint-runtime budget CI smoke-checks so the interprocedural suite stays
+// fast enough to gate every push.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"grove/internal/lint"
 )
 
+// jsonDiag is the machine-readable form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	dir := flag.String("C", ".", "module directory to analyze")
 	verbose := flag.Bool("v", false, "list analyzers and packages before findings")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines instead of the human format")
+	deadline := flag.Duration("deadline", 0, "fail (exit 3) when the analysis takes longer than this (0 = no limit)")
 	flag.Parse()
 
+	start := time.Now()
 	m, err := lint.LoadModule(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grovevet:", err)
 		os.Exit(2)
 	}
 	analyzers := lint.Analyzers()
-	if *verbose {
+	if *verbose && !*jsonOut {
 		fmt.Printf("grovevet: module %s (%d packages)\n", m.Path, len(m.Pkgs))
 		for _, a := range analyzers {
 			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	diags := lint.Run(m, analyzers, lint.DefaultFilter(m))
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if rel, err := filepath.Rel(m.Dir, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
 			name = rel
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		if *jsonOut {
+			_ = enc.Encode(jsonDiag{ //grovevet:ignore droppederr an Encode failure means stdout is gone; the exit code below still reports findings
+				File: name, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		} else {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	elapsed := time.Since(start)
+	if *deadline > 0 && elapsed > *deadline {
+		fmt.Fprintf(os.Stderr, "grovevet: analysis took %s, over the %s deadline\n",
+			elapsed.Round(time.Millisecond), *deadline)
+		os.Exit(3)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "grovevet: %d finding(s)\n", len(diags))

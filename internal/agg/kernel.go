@@ -73,6 +73,7 @@ func KernelFor(f Func) Kernel {
 
 // --- SUM ---------------------------------------------------------------------
 
+//grove:hotpath
 func foldSum(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -95,6 +96,7 @@ func foldSum(acc, values []float64, present, null []bool) (folded, newNulls int)
 	return folded, newNulls
 }
 
+//grove:hotpath
 func foldSumOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -111,6 +113,7 @@ func foldSumOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 	return folded, 0
 }
 
+//grove:hotpath
 func reduceSum(acc float64, values []float64) float64 {
 	// Unrolled 4-wide on the loop control only — the adds stay in scalar
 	// order so the result is bit-for-bit the sequential fold (float addition
@@ -130,6 +133,7 @@ func reduceSum(acc float64, values []float64) float64 {
 
 // --- MIN ---------------------------------------------------------------------
 
+//grove:hotpath
 func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -156,6 +160,7 @@ func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int)
 	return folded, newNulls
 }
 
+//grove:hotpath
 func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -176,6 +181,7 @@ func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 	return folded, 0
 }
 
+//grove:hotpath
 func reduceMin(acc float64, values []float64) float64 {
 	for _, v := range values {
 		if minReplaces(acc, v) {
@@ -187,6 +193,7 @@ func reduceMin(acc float64, values []float64) float64 {
 
 // --- MAX ---------------------------------------------------------------------
 
+//grove:hotpath
 func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -213,6 +220,7 @@ func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int)
 	return folded, newNulls
 }
 
+//grove:hotpath
 func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
@@ -233,6 +241,7 @@ func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 	return folded, 0
 }
 
+//grove:hotpath
 func reduceMax(acc float64, values []float64) float64 {
 	for _, v := range values {
 		if maxReplaces(acc, v) {
@@ -244,6 +253,7 @@ func reduceMax(acc float64, values []float64) float64 {
 
 // --- COUNT -------------------------------------------------------------------
 
+//grove:hotpath
 func foldCountRaw(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i := range values {
@@ -266,6 +276,7 @@ func foldCountRaw(acc, values []float64, present, null []bool) (folded, newNulls
 	return folded, newNulls
 }
 
+//grove:hotpath
 func foldCountRawOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i := range values {
@@ -282,6 +293,7 @@ func foldCountRawOpt(acc, values []float64, present, null []bool) (folded, newNu
 	return folded, 0
 }
 
+//grove:hotpath
 func reduceCount(acc float64, values []float64) float64 {
 	return acc + float64(len(values))
 }

@@ -25,6 +25,7 @@ func concurrentLoad(n, writers int, records []*graph.Record) time.Duration {
 	start := time.Now()
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
+		//grovevet:ignore goroleak bench harness: a panicking writer should crash the run loudly, not be recovered into a bogus timing
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(records); i += writers {
@@ -77,7 +78,7 @@ func ExpShard(sc Scale) (*Table, error) {
 		Columns: []string{"Shards", "Ingest (ms)", "Ingest speedup", "Ingest (rec/s)", "Batch (ms)", "Batch speedup"},
 	}
 
-	ctx := context.Background()
+	ctx := context.Background() //grovevet:ignore ctxflow bench experiments own their root context; there is no caller deadline to thread
 	var baseline []*query.Result
 	var baseWrite, baseBatch time.Duration
 	for _, n := range shardCounts {

@@ -50,6 +50,8 @@ func (it *Iterator) enterContainer() {
 // written. It returns 0 exactly when the iterator is exhausted (len(buf)==0
 // is the caller's bug). Values arrive in strictly ascending order across
 // calls.
+//
+//grove:hotpath
 func (it *Iterator) NextMany(buf []uint32) int {
 	n := 0
 	for it.b != nil && it.ci < len(it.b.containers) && n < len(buf) {
@@ -106,9 +108,11 @@ func (it *Iterator) NextMany(buf []uint32) int {
 // AppendInto appends every value of b to dst in ascending order and returns
 // the extended slice — the reusable-buffer form of ToSlice. It decodes
 // container-at-a-time with no per-bit closure calls.
+//
+//grove:hotpath
 func (b *Bitmap) AppendInto(dst []uint32) []uint32 {
 	if need := len(dst) + b.Cardinality(); cap(dst) < need {
-		grown := make([]uint32, len(dst), need)
+		grown := make([]uint32, len(dst), need) //grovevet:ignore hotalloc grow path only; callers pass pooled buffers that plateau at the largest answer set
 		copy(grown, dst)
 		dst = grown
 	}
@@ -149,6 +153,8 @@ func (b *Bitmap) AppendInto(dst []uint32) []uint32 {
 // Indexes are int32, which bounds the addressable cardinality at 2^31-1
 // values — far beyond the uint32 record-id space a measure column indexes in
 // practice (a column that dense would be ~16 GiB of float64 payload).
+//
+//grove:hotpath
 func (b *Bitmap) RanksInto(vs []uint32, idx []int32) {
 	_ = idx[:len(vs)]
 	i := 0        // index into vs

@@ -32,6 +32,8 @@ func (b *Bitmap) CopyFrom(other *Bitmap) {
 // receivers filter in place; bitset receivers mask word-wise). other is never
 // modified. Callers must own b exclusively: shared column bitmaps must go
 // through the allocating And instead.
+//
+//grove:hotpath
 func (b *Bitmap) AndInPlace(other *Bitmap) {
 	out := 0
 	i, j := 0, 0
@@ -69,9 +71,11 @@ func (b *Bitmap) AndInPlace(other *Bitmap) {
 // Per call this allocates one cardinality scratch slice and the result
 // containers of the first pairwise step; every later step mutates those in
 // place. Bitmap allocations are O(1) regardless of len(bitmaps).
+//
+//grove:hotpath
 func AndAllInto(dst *Bitmap, bitmaps ...*Bitmap) *Bitmap {
 	if dst == nil {
-		dst = New()
+		dst = New() //grovevet:ignore hotalloc nil-dst convenience path; steady-state callers pass a reused accumulator
 	}
 	dst.Clear()
 	switch len(bitmaps) {
@@ -138,6 +142,8 @@ func (b *Bitmap) andInto(x, y *Bitmap) {
 // compact replacement) or nil when the intersection is empty. src is never
 // modified. Layout invariants match the allocating kernels: results at or
 // below arrayMaxCardinality are stored as arrays.
+//
+//grove:hotpath
 func andContainerInPlace(dst, src container) container {
 	switch d := dst.(type) {
 	case *arrayContainer:

@@ -24,6 +24,8 @@ var rankScratchPool = sync.Pool{New: func() any { return new([]int32) }}
 // on run-optimized columns — see the grovebench measurescan experiment);
 // everything sparser runs RanksInto, which skips absent regions at
 // word-popcount granularity.
+//
+//grove:hotpath
 func mergeGather(numRecs, cnt int) bool { return numRecs*5 >= cnt*4 }
 
 // GatherInto reads the column for the given strictly ascending record ids in
@@ -35,6 +37,8 @@ func mergeGather(numRecs, cnt int) bool { return numRecs*5 >= cnt*4 }
 // small answer sets run the cursored batch-rank kernel (one container walk
 // for the whole batch), large ones a single merge against block-decoded
 // presence ids.
+//
+//grove:hotpath
 func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bool) int {
 	values = values[:len(recs)]
 	present = present[:len(recs)]
@@ -45,7 +49,7 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 		scratch := rankScratchPool.Get().(*[]int32)
 		idx := *scratch
 		if cap(idx) < len(recs) {
-			idx = make([]int32, len(recs))
+			idx = make([]int32, len(recs)) //grovevet:ignore hotalloc pooled-scratch grow path; plateaus at the largest answer set
 		}
 		idx = idx[:len(recs)]
 		c.present.RanksInto(recs, idx)
@@ -115,17 +119,19 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 // reduced block-at-a-time. It returns the folded accumulator and how many
 // values were present (the MeasuresScanned contribution). Absent records
 // contribute nothing.
+//
+//grove:hotpath
 func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(acc float64, values []float64) float64) (float64, int) {
 	if len(recs) == 0 || len(c.values) == 0 {
 		return acc, 0
 	}
-	var block [bitmap.BlockSize]float64
+	var block [bitmap.BlockSize]float64 //grovevet:ignore hotalloc the block escapes through the reduce func value: one fixed-size buffer per call, amortized over BlockSize-wide folds
 	bn, n := 0, 0
 	if !mergeGather(len(recs), c.Count()) {
 		scratch := rankScratchPool.Get().(*[]int32)
 		idx := *scratch
 		if cap(idx) < len(recs) {
-			idx = make([]int32, len(recs))
+			idx = make([]int32, len(recs)) //grovevet:ignore hotalloc pooled-scratch grow path; plateaus at the largest answer set
 		}
 		idx = idx[:len(recs)]
 		c.present.RanksInto(recs, idx)
@@ -195,6 +201,8 @@ func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(ac
 // alignedU32 reports whether a and b are element-wise equal. Callers have
 // already matched both endpoints of two strictly ascending sequences, so a
 // mismatch is rare and the scan usually runs to completion.
+//
+//grove:hotpath
 func alignedU32(a, b []uint32) bool {
 	for i := range a {
 		if a[i] != b[i] {

@@ -90,7 +90,7 @@ func (r *Relation) SaveFS(fs fsio.FS, dir string) error {
 // sharded coordinator records that name in its cross-shard manifest so Load
 // can pin every shard to one consistent generation cut.
 func (r *Relation) SaveFSGen(fs fsio.FS, dir string) (string, error) {
-	r.saveMu.Lock()
+	r.saveMu.Lock() //grovevet:ignore lockorder saveMu exists to serialize whole snapshot commits; blocking on I/O under it is its job
 	defer r.saveMu.Unlock()
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("colstore: save: %w", err)
@@ -159,7 +159,7 @@ func LoadGenerationFS(fs fsio.FS, dir, gen string) (*Relation, error) {
 // relation's read lock for the duration so the two files describe one
 // consistent state.
 func (r *Relation) writeSnapshot(fs fsio.FS, dir string) error {
-	r.mu.RLock()
+	r.mu.RLock() //grovevet:ignore lockorder the read lock must span the file writes so data.bin and manifest.json describe one cut; writers stall, readers proceed
 	defer r.mu.RUnlock()
 	m := manifest{
 		FormatVersion: formatVersion,

@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural layer: a module-wide call graph over go/types with one
+// summary node per declared function. Per-package analyzers see one function
+// at a time; the graph lets the ctxflow, goroleak, lockorder and hotalloc
+// passes reason about what a callee does (acquire locks, block on I/O,
+// recover panics, accept a context) and about reachability from the public
+// *Context facades.
+//
+// The graph is static and intentionally modest: only calls that resolve to a
+// declared module function become edges (interface dispatch and function
+// values do not), and calls made inside function literals are attributed to
+// the enclosing declaration. Both are over- and under-approximations the
+// analyzers tolerate — grove's invariants live on concrete types, and a
+// literal runs with its encloser's obligations.
+
+// FuncInfo is one declared function or method in the module, with the
+// summary facts the interprocedural analyzers consume.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls lists the static calls to other module functions, in source
+	// order, including calls made inside nested function literals.
+	Calls []CallSite
+
+	// CtxParamName is the name of the function's own context.Context
+	// parameter ("" when the function does not accept a context, "_" when it
+	// accepts and discards one).
+	CtxParamName string
+
+	// Hotpath records a //grove:hotpath annotation in the doc comment.
+	Hotpath bool
+
+	// RecoversDeferred is true when the body (not a nested literal) defers a
+	// recover — `defer func() { ... recover() ... }()` — so a panic anywhere
+	// in the function is caught.
+	RecoversDeferred bool
+
+	// DoneReceivers lists the rendered receivers of sync.WaitGroup Done()
+	// calls in the body, e.g. "wg" — goroleak's join evidence for spawns of
+	// named functions.
+	DoneReceivers []string
+}
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	Callee *FuncInfo
+	Call   *ast.CallExpr
+}
+
+// Name returns the diagnostic-friendly qualified name, e.g.
+// "(*Engine).ExecuteGraphQueryContext" or "scatterError".
+func (f *FuncInfo) Name() string {
+	if recv := f.Decl.Recv; recv != nil && len(recv.List) > 0 {
+		return "(" + types.ExprString(recv.List[0].Type) + ")." + f.Decl.Name.Name
+	}
+	return f.Decl.Name.Name
+}
+
+// CallGraph indexes every declared function in the module.
+type CallGraph struct {
+	Funcs  []*FuncInfo // declaration order (per sorted package)
+	byObj  map[*types.Func]*FuncInfo
+	byName map[string]*FuncInfo // scope key (see scopeKey) → function
+}
+
+// hotpathMarker annotates a function whose body the hotalloc analyzer must
+// prove free of heap allocations.
+const hotpathMarker = "grove:hotpath"
+
+// CallGraph builds (once) and returns the module's call graph.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	cg := &CallGraph{
+		byObj:  map[*types.Func]*FuncInfo{},
+		byName: map[string]*FuncInfo{},
+	}
+	// First pass: one node per declaration.
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := &FuncInfo{Decl: fd, Pkg: pkg}
+				if pkg.Info != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						fi.Obj = obj
+						cg.byObj[obj] = fi
+					}
+				}
+				fi.CtxParamName = ctxParamName(fd.Type)
+				fi.Hotpath = docHasMarker(fd.Doc, hotpathMarker)
+				cg.Funcs = append(cg.Funcs, fi)
+				cg.byName[scopeKey(pkg, fd)] = fi
+			}
+		}
+	}
+	// Second pass: edges and body facts.
+	for _, fi := range cg.Funcs {
+		cg.summarize(fi)
+	}
+	m.cg = cg
+	return cg
+}
+
+// Lookup resolves a used function object to its module declaration, or nil
+// for stdlib / interface-method / unresolved callees.
+func (cg *CallGraph) Lookup(obj *types.Func) *FuncInfo {
+	if obj == nil {
+		return nil
+	}
+	return cg.byObj[obj]
+}
+
+// Sibling returns the function named name in the same scope as f — the same
+// receiver type for methods, the same package for plain functions.
+func (cg *CallGraph) Sibling(f *FuncInfo, name string) *FuncInfo {
+	key := scopeKey(f.Pkg, f.Decl)
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		key = key[:i]
+	}
+	return cg.byName[key+"."+name]
+}
+
+// Reachable computes the functions reachable from roots over call edges,
+// including the roots themselves.
+func (cg *CallGraph) Reachable(roots []*FuncInfo) map[*FuncInfo]bool {
+	seen := make(map[*FuncInfo]bool, len(roots))
+	var walk func(f *FuncInfo)
+	walk = func(f *FuncInfo) {
+		if f == nil || seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, cs := range f.Calls {
+			walk(cs.Callee)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// ContextFacades returns the module's context-carrying facade set: every
+// declared function whose name ends in "Context" and that accepts a
+// context.Context parameter. These are the roots the ctxflow reachability
+// rule bans context.Background()/TODO() under.
+func (cg *CallGraph) ContextFacades() []*FuncInfo {
+	var roots []*FuncInfo
+	for _, f := range cg.Funcs {
+		if f.CtxParamName != "" && strings.HasSuffix(f.Decl.Name.Name, "Context") {
+			roots = append(roots, f)
+		}
+	}
+	return roots
+}
+
+// summarize fills a node's call edges and body facts.
+func (cg *CallGraph) summarize(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	var walk func(n ast.Node, litDepth int)
+	walk = func(n ast.Node, litDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, litDepth+1)
+				return false
+			case *ast.CallExpr:
+				if callee := cg.Lookup(usedFunc(info, n)); callee != nil {
+					fi.Calls = append(fi.Calls, CallSite{Callee: callee, Call: n})
+				}
+				if recv, name, _, ok := methodCall(n); ok && name == "Done" &&
+					receiverIsType(info, recv, "sync", "WaitGroup") {
+					fi.DoneReceivers = append(fi.DoneReceivers, types.ExprString(recv))
+				}
+			case *ast.DeferStmt:
+				// Only a top-level deferred recover protects the whole
+				// function; one deferred inside a nested literal protects
+				// that literal.
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && callsRecover(fl.Body) && litDepth == 0 {
+					fi.RecoversDeferred = true
+				}
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body, 0)
+}
+
+// usedFunc resolves the called function object of a call expression.
+func usedFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// scopeKey renders "pkgpath.RecvType.name" for methods and "pkgpath..name"
+// for plain functions — the sibling-lookup namespace.
+func scopeKey(pkg *Package, fd *ast.FuncDecl) string {
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return pkg.Path + "." + recv + "." + fd.Name.Name
+}
+
+// ctxParamName returns the name of ft's context.Context parameter, or "".
+// The check is syntactic-first (context.Context / ctx aliases resolve via
+// types when available) so fixture code with partial type info still works.
+func ctxParamName(ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, fld := range ft.Params.List {
+		if !isContextType(fld.Type) {
+			continue
+		}
+		if len(fld.Names) == 0 {
+			return "_"
+		}
+		return fld.Names[0].Name
+	}
+	return ""
+}
+
+// isContextType matches the syntactic form context.Context.
+func isContextType(e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}
+
+// sigAcceptsContext reports whether the called function's static signature
+// has a context.Context parameter.
+func sigAcceptsContext(info *types.Info, call *ast.CallExpr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextParamType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextParamType reports whether t is context.Context.
+func isContextParamType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// receiverIsType reports whether recv's static type is (a pointer to) the
+// named type pkgPath.typeName. Unlike receiverNamed it requires resolved
+// type info and an exact package match.
+func receiverIsType(info *types.Info, recv ast.Expr, pkgPath, typeName string) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[unparen(recv)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// callsRecover reports whether the block contains a direct recover() call
+// (not inside a nested function literal).
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// docHasMarker reports whether a doc comment group contains marker as a
+// directive-style line.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -27,6 +27,10 @@ func TestGolden(t *testing.T) {
 		{"stdlibonly", StdlibOnly},
 		{"mutexbyvalue", MutexByValue},
 		{"atomicmix", AtomicMix},
+		{"ctxflow", CtxFlow},
+		{"goroleak", GoroLeak},
+		{"lockorder", LockOrder},
+		{"hotalloc", HotAlloc},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

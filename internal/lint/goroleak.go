@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak audits every `go` statement in library (non-main) packages for
+// two obligations the scatter-gather path established:
+//
+// Join/termination — a spawned goroutine must have a provable way to finish
+// and be observed. Accepted evidence, checked in the goroutine body (the
+// function literal, or the declared module function being spawned):
+//
+//   - sync.WaitGroup pairing: the body calls wg.Done() (usually deferred)
+//     and, for literals, a wg.Add(...) on the same waitgroup appears before
+//     the spawn in the enclosing function;
+//   - a channel operation: a send, receive, close, select communication, or
+//     ranging over a channel — the goroutine participates in a handshake
+//     its owner can drain;
+//   - a reasoned //grovevet:ignore goroleak pragma for genuinely detached
+//     goroutines (e.g. a server accept loop that exits on listener Close).
+//
+// Panic recovery — a library goroutine that panics kills the whole process
+// (nothing above it on the stack can recover), so the body must defer a
+// recover, or call a module function that defers one (the batch executor's
+// safeCall idiom), or carry a pragma naming why a crash is the intent.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "go statements need a provable join/termination path and panic recovery",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(pass *ModulePass) {
+	cg := pass.Module.CallGraph()
+	for _, fi := range cg.Funcs {
+		if fi.Pkg.Name == "main" {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, cg, fi, g)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *ModulePass, cg *CallGraph, fi *FuncInfo, g *ast.GoStmt) {
+	info := fi.Pkg.Info
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		checkLitSpawn(pass, cg, fi, g, fl)
+		return
+	}
+	callee := cg.Lookup(usedFunc(info, g.Call))
+	if callee == nil {
+		pass.Reportf(g.Pos(),
+			"go statement spawns %s, which this analysis cannot see into; spawn a function literal with explicit join and recovery, or add a //grovevet:ignore goroleak pragma",
+			types.ExprString(g.Call.Fun))
+		return
+	}
+	if len(callee.DoneReceivers) == 0 && !bodyHasChanOp(callee.Pkg.Info, callee.Decl.Body) {
+		pass.Reportf(g.Pos(),
+			"goroutine %s has no provable join or termination path (no WaitGroup Done, no channel operation); add one or a //grovevet:ignore goroleak pragma",
+			callee.Name())
+	}
+	if !recoversPanics(callee.Decl.Body, cg, callee.Pkg.Info) {
+		pass.Reportf(g.Pos(),
+			"library goroutine %s does not recover panics; a panic here kills the process — defer a recover or add a //grovevet:ignore goroleak pragma",
+			callee.Name())
+	}
+}
+
+func checkLitSpawn(pass *ModulePass, cg *CallGraph, fi *FuncInfo, g *ast.GoStmt, fl *ast.FuncLit) {
+	info := fi.Pkg.Info
+	done := doneReceivers(info, fl.Body)
+	joined := false
+	for _, recv := range done {
+		if addBeforeSpawn(info, fi.Decl.Body, recv, g.Pos()) {
+			joined = true
+			break
+		}
+	}
+	if !joined && len(done) > 0 {
+		// Done with no visible Add before the spawn: either an un-Added Done
+		// (a real bug: Wait can return early / panic on negative counter) or
+		// an Add hidden behind a helper. Flag it distinctly.
+		pass.Reportf(g.Pos(),
+			"goroutine calls %s.Done() but no %s.Add(...) precedes the go statement in %s; Add before spawning",
+			done[0], done[0], fi.Name())
+		joined = true // the Done still joins; don't double-report below
+	}
+	if !joined && !bodyHasChanOp(info, fl.Body) {
+		pass.Reportf(g.Pos(),
+			"goroutine has no provable join or termination path (no WaitGroup Done, no channel operation); add one or a //grovevet:ignore goroleak pragma")
+	}
+	if !recoversPanics(fl.Body, cg, info) {
+		pass.Reportf(g.Pos(),
+			"library goroutine does not recover panics; a panic here kills the process — defer a recover or add a //grovevet:ignore goroleak pragma")
+	}
+}
+
+// doneReceivers collects rendered receivers of sync.WaitGroup Done() calls
+// in body (not inside nested literals).
+func doneReceivers(info *types.Info, body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, name, _, ok := methodCall(call); ok && name == "Done" &&
+				waitGroupRecv(info, recv) {
+				out = append(out, types.ExprString(recv))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// addBeforeSpawn reports whether recv.Add(...) appears before pos in the
+// spawning function's body.
+func addBeforeSpawn(info *types.Info, body *ast.BlockStmt, recv string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found && (n == nil || n.Pos() < pos)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if r, name, _, ok := methodCall(call); ok && name == "Add" &&
+				waitGroupRecv(info, r) && types.ExprString(r) == recv {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupRecv reports whether recv is a sync.WaitGroup. Without type info
+// (fixture code) any receiver whose rendering mentions "wg" is accepted.
+func waitGroupRecv(info *types.Info, recv ast.Expr) bool {
+	if info != nil {
+		if _, ok := info.Types[unparen(recv)]; ok {
+			return receiverIsType(info, recv, "sync", "WaitGroup")
+		}
+	}
+	return receiverNamed(info, recv, "WaitGroup")
+}
+
+// bodyHasChanOp reports whether body performs any channel operation: send,
+// receive, close, a select communication, or ranging over a channel.
+func bodyHasChanOp(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) > 0 {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(info, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isChanExpr reports whether e's static type is a channel. Without type info
+// it errs toward true, so fixture worker loops still count as joined.
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	if info == nil {
+		return true
+	}
+	tv, ok := info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// recoversPanics reports whether body defers a recover directly, or calls a
+// module function that defers one (the safeCall idiom: the panic-prone work
+// runs entirely inside the recovering callee).
+func recoversPanics(body *ast.BlockStmt, cg *CallGraph, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && callsRecover(fl.Body) {
+				found = true
+				return false
+			}
+			if callee := cg.Lookup(usedFunc(info, n.Call)); callee != nil && callee.RecoversDeferred {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if callee := cg.Lookup(usedFunc(info, n)); callee != nil && callee.RecoversDeferred {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

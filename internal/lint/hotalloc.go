@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc proves that functions annotated //grove:hotpath are free of heap
+// allocations. The annotation marks the kernels the benchmarks guard with
+// testing.AllocsPerRun — bitmap intersections, fold/reduce aggregation,
+// column gathers — where a single escaping value turns an O(1)-allocation
+// steady state into GC pressure proportional to the record count.
+//
+// The proof comes from the real compiler, not from AST heuristics: the
+// analyzer shells out to `go build -gcflags=-m ./...` in the module root and
+// parses the escape-analysis diagnostics ("x escapes to heap", "moved to
+// heap: y"). Any such diagnostic landing inside an annotated function's body
+// is reported at the allocation site. The Go build cache replays -gcflags
+// diagnostics on cache hits, so steady-state runs cost one cache probe, not
+// a rebuild.
+//
+// When no function carries the annotation the analyzer is free: it never
+// invokes the toolchain. A failed build (the module must compile for escape
+// analysis to run) is itself reported, at the first annotated function.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "//grove:hotpath functions must be free of heap allocations (compiler-verified)",
+	RunModule: runHotAlloc,
+}
+
+func runHotAlloc(pass *ModulePass) {
+	m := pass.Module
+	cg := m.CallGraph()
+	var hot []*FuncInfo
+	for _, fi := range cg.Funcs {
+		if fi.Hotpath {
+			hot = append(hot, fi)
+		}
+	}
+	if len(hot) == 0 {
+		return
+	}
+
+	out, err := escapeDiagnostics(m.Dir)
+	if err != nil {
+		pass.Reportf(hot[0].Decl.Pos(),
+			"hotalloc cannot verify //grove:hotpath annotations: %v", err)
+		return
+	}
+
+	for _, d := range out {
+		abs := d.file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(m.Dir, d.file)
+		}
+		for _, fi := range hot {
+			tf := m.Fset.File(fi.Decl.Pos())
+			if tf == nil || tf.Name() != abs {
+				continue
+			}
+			start := m.Fset.Position(fi.Decl.Pos()).Line
+			end := m.Fset.Position(fi.Decl.End()).Line
+			if d.line < start || d.line > end {
+				continue
+			}
+			pass.Reportf(escapePos(tf, d.line, d.col),
+				"heap allocation in //grove:hotpath function %s: %s; keep the hot path allocation-free or drop the annotation",
+				fi.Name(), d.msg)
+		}
+	}
+}
+
+// escapeDiag is one parsed compiler escape diagnostic.
+type escapeDiag struct {
+	file string // as printed: relative to the build dir, or absolute
+	line int
+	col  int
+	msg  string
+}
+
+// escapeDiagnostics runs the compiler's escape analysis over the module and
+// returns the heap-allocation findings.
+func escapeDiagnostics(dir string) ([]escapeDiag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = dir
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		excerpt := strings.TrimSpace(string(raw))
+		if len(excerpt) > 400 {
+			excerpt = excerpt[:400] + " ..."
+		}
+		return nil, &buildError{excerpt: excerpt, err: err}
+	}
+	var out []escapeDiag
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		if d, ok := parseEscapeLine(line); ok {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+type buildError struct {
+	excerpt string
+	err     error
+}
+
+func (e *buildError) Error() string {
+	return "go build -gcflags=-m failed (" + e.err.Error() + "): " + e.excerpt
+}
+
+// parseEscapeLine splits "path/file.go:12:6: x escapes to heap" into its
+// parts. Lines that do not match the file:line:col prefix are dropped.
+func parseEscapeLine(line string) (escapeDiag, bool) {
+	line = strings.TrimSpace(line)
+	// Split from the left: file may contain no colon on linux (and a drive
+	// colon never appears here), so the first three colon fields are
+	// file, line, col.
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return escapeDiag{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return escapeDiag{}, false
+	}
+	return escapeDiag{
+		file: parts[0],
+		line: ln,
+		col:  col,
+		msg:  strings.TrimSpace(parts[3]),
+	}, true
+}
+
+// escapePos converts a (line, col) from compiler output into a token.Pos in
+// tf, clamping out-of-range values to the closest valid position.
+func escapePos(tf *token.File, line, col int) token.Pos {
+	if line < 1 {
+		line = 1
+	}
+	if line > tf.LineCount() {
+		line = tf.LineCount()
+	}
+	pos := tf.LineStart(line)
+	if col > 1 {
+		p := pos + token.Pos(col-1)
+		if tf.Pos(tf.Size()) >= p {
+			pos = p
+		}
+	}
+	return pos
+}

@@ -11,6 +11,14 @@
 // (metricname), the module's stdlib-only dependency policy (stdlibonly), and
 // lock/atomic hygiene (mutexbyvalue, atomicmix).
 //
+// A second, interprocedural tier builds a module-wide call graph with
+// per-function summaries (see callgraph.go) and reasons across function
+// boundaries: context threading from the *Context API facades (ctxflow),
+// goroutine join/termination and panic-recovery obligations (goroleak), a
+// global lock-acquisition order free of cycles and of blocking operations
+// under locks (lockorder), and compiler-verified allocation-freedom of
+// //grove:hotpath kernels (hotalloc).
+//
 // A finding can be acknowledged in source with a pragma comment on the same
 // line or the line directly above:
 //
@@ -88,7 +96,10 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns grove's full analyzer suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockPair, DroppedErr, FsioOnly, MetricName, StdlibOnly, MutexByValue, AtomicMix}
+	return []*Analyzer{
+		LockPair, DroppedErr, FsioOnly, MetricName, StdlibOnly, MutexByValue, AtomicMix,
+		CtxFlow, GoroLeak, LockOrder, HotAlloc,
+	}
 }
 
 // DefaultFilter scopes analyzers the way `make lint` runs them: droppederr

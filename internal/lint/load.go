@@ -39,6 +39,7 @@ type Module struct {
 	Pkgs []*Package // sorted by import path
 
 	pragmas map[string][]pragma // filename → grovevet:ignore comments
+	cg      *CallGraph          // built lazily by CallGraph()
 }
 
 // Lookup returns the package with the given import path, or nil.

@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a global lock-acquisition graph across the module's
+// mutexes — every sync.Mutex/sync.RWMutex field or package-level variable,
+// plus the colstore Relation BeginRead/EndRead protocol, identified by
+// "pkg.Type.field" — and reports two classes of deadlock risk:
+//
+// Cycles: if any code path acquires A and then (directly or through any
+// chain of module calls) B, while another acquires B and then A, two
+// goroutines can deadlock. Lock identity is per mutex *field*, not per
+// instance, which is the useful granularity for a partitioned executor:
+// shard 0's relation mutex and shard 1's are interchangeable from an
+// ordering standpoint.
+//
+// Blocking while locked: a channel operation (send, receive, select, range)
+// or an fsio filesystem call made while holding a lock extends the lock's
+// hold time by an unbounded wait — the classic way a partitioned executor's
+// "fast" mutex becomes a convoy. One diagnostic per (function, lock) is
+// reported at the acquisition site, so an intentional design (a save mutex
+// that exists precisely to serialize snapshot I/O) is acknowledged with one
+// //grovevet:ignore lockorder pragma on that line. The fsio package itself
+// is exempt: it is the blocking boundary.
+//
+// The held-set tracking is linear over each function body (lockpair owns
+// branch-sensitive pairing); function literals are analyzed as their own
+// scopes with an empty held set, and their facts fold into the enclosing
+// function's summary.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "no lock-order cycles; no channel/fsio blocking while holding a lock",
+	RunModule: runLockOrder,
+}
+
+// loFact is one direct lock acquisition in a function body.
+type loFact struct {
+	key string
+	pos token.Pos
+}
+
+// loBlock is one direct potentially-blocking operation.
+type loBlock struct {
+	desc string // "channel receive", "fsio call fs.Create", ...
+	pos  token.Pos
+}
+
+// loSummary is the per-function fact set, before and after the transitive
+// closure.
+type loSummary struct {
+	fi       *FuncInfo
+	acquires []loFact
+	blocks   []loBlock
+
+	transAcquires map[string]token.Pos // key → a representative acquisition site
+	transBlock    *loBlock             // a representative blocking operation, or nil
+}
+
+// loEdge is one observed "A held while B acquired" ordering.
+type loEdge struct {
+	pos   token.Pos // where B was acquired (or the call that acquires it)
+	via   string    // "" for a direct acquisition, else the callee name
+	after string    // the edge target key (B)
+}
+
+func runLockOrder(pass *ModulePass) {
+	cg := pass.Module.CallGraph()
+	sums := make(map[*FuncInfo]*loSummary, len(cg.Funcs))
+	for _, fi := range cg.Funcs {
+		sums[fi] = collectLockFacts(fi)
+	}
+	closeLockFacts(sums)
+
+	// Walk every body with held-set tracking, collecting ordering edges and
+	// reporting blocking-while-locked.
+	edges := map[string]map[string]loEdge{} // from → to → representative site
+	for _, fi := range cg.Funcs {
+		w := &lockOrderWalker{pass: pass, cg: cg, fi: fi, sums: sums, edges: edges}
+		w.walkBody(fi.Decl.Body)
+	}
+	reportLockCycles(pass, edges)
+}
+
+// collectLockFacts gathers a function's direct acquisitions and blocking
+// operations, including those inside nested literals.
+func collectLockFacts(fi *FuncInfo) *loSummary {
+	s := &loSummary{fi: fi}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if key, acquire, _ := lockOpKey(fi.Pkg, n); key != "" && acquire {
+				s.acquires = append(s.acquires, loFact{key: key, pos: n.Pos()})
+			}
+			if desc := fsioCallDesc(fi.Pkg, n); desc != "" {
+				s.blocks = append(s.blocks, loBlock{desc: desc, pos: n.Pos()})
+			}
+		case *ast.SendStmt:
+			s.blocks = append(s.blocks, loBlock{desc: "channel send", pos: n.Pos()})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blocks = append(s.blocks, loBlock{desc: "channel receive", pos: n.Pos()})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				s.blocks = append(s.blocks, loBlock{desc: "blocking select", pos: n.Pos()})
+			}
+			// A select with default polls; its clauses are still visited.
+		case *ast.RangeStmt:
+			if isChanRange(fi.Pkg.Info, n) {
+				s.blocks = append(s.blocks, loBlock{desc: "range over channel", pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// closeLockFacts computes each function's transitive acquire/block sets to a
+// fixpoint over the call graph.
+func closeLockFacts(sums map[*FuncInfo]*loSummary) {
+	for _, s := range sums {
+		s.transAcquires = map[string]token.Pos{}
+		for _, f := range s.acquires {
+			s.transAcquires[f.key] = f.pos
+		}
+		if len(s.blocks) > 0 {
+			b := s.blocks[0]
+			s.transBlock = &b
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			for _, cs := range s.fi.Calls {
+				callee := sums[cs.Callee]
+				if callee == nil {
+					continue
+				}
+				for k := range callee.transAcquires {
+					if _, ok := s.transAcquires[k]; !ok {
+						s.transAcquires[k] = cs.Call.Pos()
+						changed = true
+					}
+				}
+				if s.transBlock == nil && callee.transBlock != nil {
+					s.transBlock = &loBlock{
+						desc: callee.transBlock.desc + " (via " + cs.Callee.Name() + ")",
+						pos:  cs.Call.Pos(),
+					}
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// heldLock is one lock in the walker's held set.
+type heldLock struct {
+	key      string
+	pos      token.Pos // acquisition site (where blocking findings anchor)
+	reported bool      // a blocking-while-locked finding was already issued
+}
+
+type lockOrderWalker struct {
+	pass  *ModulePass
+	cg    *CallGraph
+	fi    *FuncInfo
+	sums  map[*FuncInfo]*loSummary
+	edges map[string]map[string]loEdge
+
+	held []*heldLock
+}
+
+// walkBody runs the held-set scan over one scope. Nested literals restart
+// with an empty held set (they execute later, on their own goroutine or
+// deferred).
+func (w *lockOrderWalker) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			saved := w.held
+			w.held = nil
+			w.walkBody(n.Body)
+			w.held = saved
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to function end — leave
+			// the held entry in place. A deferred unlock-wrapper literal too.
+			if key, acquire, _ := lockOpKey(w.fi.Pkg, n.Call); key != "" && !acquire {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n)
+		case *ast.SendStmt:
+			w.blockingOp("channel send", n.Pos())
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingOp("channel receive", n.Pos())
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				w.blockingOp("blocking select", n.Pos())
+			}
+		case *ast.RangeStmt:
+			if isChanRange(w.fi.Pkg.Info, n) {
+				w.blockingOp("range over channel", n.Pos())
+			}
+		}
+		return true
+	})
+	w.held = nil
+}
+
+func (w *lockOrderWalker) call(call *ast.CallExpr) {
+	if key, acquire, _ := lockOpKey(w.fi.Pkg, call); key != "" {
+		if acquire {
+			w.acquired(key, call.Pos(), "")
+			w.held = append(w.held, &heldLock{key: key, pos: call.Pos()})
+		} else {
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].key == key {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	if desc := fsioCallDesc(w.fi.Pkg, call); desc != "" {
+		w.blockingOp(desc, call.Pos())
+	}
+	callee := w.cg.Lookup(usedFunc(w.fi.Pkg.Info, call))
+	if callee == nil {
+		return
+	}
+	if sum := w.sums[callee]; sum != nil {
+		for k := range sum.transAcquires {
+			w.acquired(k, call.Pos(), callee.Name())
+		}
+		if sum.transBlock != nil {
+			w.blockingOp(sum.transBlock.desc+" (via "+callee.Name()+")", call.Pos())
+		}
+	}
+}
+
+// acquired records ordering edges from every held lock to key.
+func (w *lockOrderWalker) acquired(key string, pos token.Pos, via string) {
+	for _, h := range w.held {
+		if h.key == key {
+			continue // lockpair owns same-lock nesting
+		}
+		m := w.edges[h.key]
+		if m == nil {
+			m = map[string]loEdge{}
+			w.edges[h.key] = m
+		}
+		if _, ok := m[key]; !ok {
+			m[key] = loEdge{pos: pos, via: via, after: key}
+		}
+	}
+}
+
+// blockingOp reports a potentially-blocking operation performed while any
+// lock is held — once per (function, lock), anchored at the acquisition.
+func (w *lockOrderWalker) blockingOp(desc string, pos token.Pos) {
+	for _, h := range w.held {
+		if h.reported {
+			continue
+		}
+		h.reported = true
+		w.pass.Reportf(h.pos,
+			"%s at line %d may block for unbounded time while %s is held (acquired here); release first or add a //grovevet:ignore lockorder pragma naming why the wait is the point",
+			desc, w.pass.Module.Fset.Position(pos).Line, h.key)
+	}
+}
+
+// reportLockCycles reports every edge that participates in a cycle.
+func reportLockCycles(pass *ModulePass, edges map[string]map[string]loEdge) {
+	reaches := func(from, to string) (bool, token.Pos) {
+		seen := map[string]bool{}
+		var dfs func(k string) (bool, token.Pos)
+		dfs = func(k string) (bool, token.Pos) {
+			if seen[k] {
+				return false, token.NoPos
+			}
+			seen[k] = true
+			for next, e := range edges[k] {
+				if next == to {
+					return true, e.pos
+				}
+				if ok, p := dfs(next); ok {
+					return true, p
+				}
+			}
+			return false, token.NoPos
+		}
+		return dfs(from)
+	}
+	type finding struct {
+		pos        token.Pos
+		a, b       string
+		reversePos token.Pos
+	}
+	var findings []finding
+	for from, m := range edges {
+		for to, e := range m {
+			if ok, rp := reaches(to, from); ok {
+				findings = append(findings, finding{pos: e.pos, a: from, b: to, reversePos: rp})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos,
+			"lock-order cycle: %s is acquired while %s is held here, but elsewhere (line %d) the order reverses; pick one global order",
+			f.b, f.a, pass.Module.Fset.Position(f.reversePos).Line)
+	}
+}
+
+// --- fact extraction ---------------------------------------------------------
+
+// lockOpKey classifies a call as a lock acquisition/release and returns the
+// lock's module-wide identity: "pkg.Type.field" for mutex fields,
+// "pkg.var" for package-level mutex variables, and the owning Relation's
+// read-lock identity for BeginRead/EndRead. Local mutex variables return ""
+// (they have no cross-function ordering meaning).
+func lockOpKey(pkg *Package, call *ast.CallExpr) (key string, acquire, read bool) {
+	recv, name, _, ok := methodCall(call)
+	if !ok {
+		return "", false, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	case "BeginRead", "EndRead":
+		if !receiverNamed(pkg.Info, recv, "Relation") {
+			return "", false, false
+		}
+		return namedRecvKey(pkg, recv) + ".mu", name == "BeginRead", true
+	default:
+		return "", false, false
+	}
+	if !mutexExpr(pkg.Info, recv) {
+		return "", false, false
+	}
+	read = name == "RLock" || name == "RUnlock"
+	switch r := unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		return namedRecvKey(pkg, r.X) + "." + r.Sel.Name, acquire, read
+	case *ast.Ident:
+		if pkg.Info != nil {
+			if obj, ok := pkg.Info.Uses[r]; ok && obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+				// Package-scope variable.
+				return pkg.Path + "." + r.Name, acquire, read
+			}
+		}
+		return "", false, false // local mutex
+	}
+	return "", false, false
+}
+
+// mutexExpr reports whether e's static type is sync.Mutex or sync.RWMutex.
+// Unresolved expressions in fixtures count when they render like a mutex
+// field ("mu" suffix).
+func mutexExpr(info *types.Info, e ast.Expr) bool {
+	if info != nil {
+		if tv, ok := info.Types[unparen(e)]; ok && tv.Type != nil {
+			return receiverIsType(info, e, "sync", "Mutex") || receiverIsType(info, e, "sync", "RWMutex")
+		}
+	}
+	return strings.HasSuffix(strings.ToLower(types.ExprString(e)), "mu")
+}
+
+// namedRecvKey renders the named type (or failing that, the expression) that
+// owns a lock field: "grove/internal/colstore.Relation".
+func namedRecvKey(pkg *Package, recv ast.Expr) string {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[unparen(recv)]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				}
+				return named.Obj().Name()
+			}
+		}
+	}
+	return pkg.Path + "." + types.ExprString(unparen(recv))
+}
+
+// fsioCallDesc matches calls into the fsio layer — package functions of, or
+// methods on types declared in, a package whose import path ends in
+// "internal/fsio" — from outside that package.
+func fsioCallDesc(pkg *Package, call *ast.CallExpr) string {
+	if strings.HasSuffix(pkg.Path, "internal/fsio") {
+		return ""
+	}
+	obj := usedFuncAny(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/fsio") {
+		return ""
+	}
+	return "fsio call " + types.ExprString(call.Fun)
+}
+
+// usedFuncAny resolves the called object including interface methods (which
+// usedFunc also returns; this name documents intent at call sites that care
+// about fsio interface methods).
+func usedFuncAny(info *types.Info, call *ast.CallExpr) *types.Func {
+	return usedFunc(info, call)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanRange(info *types.Info, n *ast.RangeStmt) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[unparen(n.X)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

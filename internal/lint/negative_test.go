@@ -248,6 +248,141 @@ func read(v *s) int64 { return atomic.LoadInt64(&v.hits) }
 `},
 		},
 		{
+			name:     "ctxflow convenience wrapper and ctx-scoped literals pass",
+			analyzer: CtxFlow,
+			files: map[string]string{"a.go": `package neg
+
+import "context"
+
+type E struct{}
+
+func (e *E) MatchContext(ctx context.Context, q int) int { return q }
+
+func (e *E) Match(q int) int { return e.MatchContext(context.Background(), q) }
+
+func run(ctx context.Context, e *E) {
+	f := func(ctx context.Context) { _ = e.MatchContext(ctx, 1) }
+	f(ctx)
+}
+`},
+		},
+		{
+			name:     "ctxflow root contexts in main packages pass",
+			analyzer: CtxFlow,
+			files: map[string]string{"a.go": `package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}
+`},
+		},
+		{
+			name:     "ctxflow pragma acknowledges an intentional root",
+			analyzer: CtxFlow,
+			files: map[string]string{"a.go": `package neg
+
+import "context"
+
+func daemon() {
+	ctx := context.Background() //grovevet:ignore ctxflow the daemon loop owns its root; there is no caller to inherit from
+	_ = ctx
+}
+`},
+		},
+		{
+			name:     "goroleak channel-joined workers with recovering helper pass",
+			analyzer: GoroLeak,
+			files: map[string]string{"a.go": `package neg
+
+import "sync"
+
+func safeCall(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+func pool(n int, jobs chan func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				safeCall(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+`},
+		},
+		{
+			name:     "goroleak pragma acknowledges a detached goroutine",
+			analyzer: GoroLeak,
+			files: map[string]string{"a.go": `package neg
+
+func serve(accept func() bool) {
+	//grovevet:ignore goroleak accept loop exits when the listener closes; a panic here must crash loudly
+	go func() {
+		for accept() {
+		}
+	}()
+}
+`},
+		},
+		{
+			name:     "lockorder consistent global order passes",
+			analyzer: LockOrder,
+			files: map[string]string{"a.go": `package neg
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func f(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func g(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+`},
+		},
+		{
+			name:     "lockorder local mutexes and released locks pass",
+			analyzer: LockOrder,
+			files: map[string]string{"a.go": `package neg
+
+import "sync"
+
+func h(ch chan int) {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+`},
+		},
+		{
+			name:     "hotalloc unannotated module never invokes the toolchain",
+			analyzer: HotAlloc,
+			files: map[string]string{"a.go": `package neg
+
+func box(n int) *int { return &n }
+`},
+		},
+		{
 			name:     "metricname conforming registrations pass",
 			analyzer: MetricName,
 			files: map[string]string{"a.go": `package neg

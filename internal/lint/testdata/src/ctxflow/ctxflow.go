@@ -1,0 +1,44 @@
+// Package ctxflow exercises the three context-threading rules: severing a
+// received ctx, dropping ctx when a *Context sibling exists, and creating
+// root contexts on facade-reachable paths or outside the wrapper shape.
+package ctxflow
+
+import "context"
+
+// Engine is the fixture's query engine stand-in.
+type Engine struct{ n int }
+
+// RunContext is a *Context facade: it seeds the reachability rule.
+func (e *Engine) RunContext(ctx context.Context, q int) int {
+	helper(e, q)
+	sub := context.Background() // want "severs cancellation"
+	_ = sub
+	return e.n + q
+}
+
+// Run is the convenience wrapper: its Background() is passed directly to the
+// context-aware sibling, which is the accepted shape.
+func (e *Engine) Run(q int) int {
+	return e.RunContext(context.Background(), q)
+}
+
+// process carries a ctx, so calling the ctx-less Run drops it.
+func process(ctx context.Context, e *Engine, q int) int {
+	_ = ctx
+	return e.Run(q) // want "drops ctx; call RunContext"
+}
+
+// helper is reachable from the RunContext facade.
+func helper(e *Engine, q int) {
+	ctx := context.Background() // want "reachable from the .Context API facades"
+	_ = ctx
+	e.n += q
+}
+
+// stray is unreachable from any facade, but stores its root context instead
+// of passing it straight into a context-accepting callee.
+func stray(e *Engine) {
+	ctx := context.TODO() // want "outside the convenience-wrapper shape"
+	_ = ctx
+	_ = e
+}

@@ -1,0 +1,3 @@
+module fixture/ctxflow
+
+go 1.22

@@ -1,0 +1,3 @@
+module fixture/goroleak
+
+go 1.22

@@ -1,0 +1,87 @@
+// Package goroleak exercises the goroutine join/termination and
+// panic-recovery obligations across literal and named spawns.
+package goroleak
+
+import (
+	"fmt"
+	"sync"
+)
+
+func work(i int) { _ = i }
+
+// waitGroupJoined pairs Add with a deferred Done and recovers: clean.
+func waitGroupJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { recover() }()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// doneWithoutAdd calls Done on a waitgroup it never visibly Adds to.
+func doneWithoutAdd(wg *sync.WaitGroup) {
+	go func() { // want "Add before spawning" "does not recover panics"
+		defer wg.Done()
+	}()
+}
+
+// detached has no join evidence at all.
+func detached() {
+	go func() { // want "no provable join or termination path" "does not recover panics"
+		work(0)
+	}()
+}
+
+// channelJoined hands its completion over a channel and recovers: clean.
+func channelJoined(done chan struct{}) {
+	go func() {
+		defer func() { recover() }()
+		work(1)
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// spawnsOpaque launches a function the module call graph cannot see into.
+func spawnsOpaque() {
+	go fmt.Println("x") // want "cannot see into"
+}
+
+// worker ranges over its job channel and recovers: a compliant named spawn.
+func worker(jobs chan int) {
+	defer func() { recover() }()
+	for j := range jobs {
+		work(j)
+	}
+}
+
+func spawnsWorker(jobs chan int) {
+	go worker(jobs)
+}
+
+// plain neither joins nor recovers.
+func plain() { work(2) }
+
+func spawnsPlain() {
+	go plain() // want "no provable join or termination path" "does not recover panics"
+}
+
+// safeCall is the batch executor's recovery idiom: the panic-prone work runs
+// entirely inside a callee that defers a recover.
+func safeCall(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+func spawnsSafe(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		safeCall(f)
+	}()
+}

@@ -1,0 +1,3 @@
+module fixture/hotalloc
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package hotalloc exercises the compiler-escape-backed analyzer. Unlike the
+// other fixtures this one must genuinely compile: hotalloc shells out to
+// `go build -gcflags=-m` and maps the escape diagnostics onto annotated
+// declarations.
+package hotalloc
+
+// Concat's string concatenation escapes to the heap: the seeded true
+// positive the analyzer must catch.
+//
+//grove:hotpath
+func Concat(a, b string) string {
+	return a + b // want "heap allocation in"
+}
+
+// Sum is allocation-free and must stay silent.
+//
+//grove:hotpath
+func Sum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Box allocates, but carries no annotation: not hotalloc's business.
+func Box(n int) *int {
+	return &n
+}

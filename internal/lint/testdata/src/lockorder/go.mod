@@ -1,0 +1,3 @@
+module fixture/lockorder
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package fsio is the fixture's stand-in for grove's I/O boundary: lockorder
+// treats any call into a package path ending in internal/fsio as a
+// potentially unbounded wait.
+package fsio
+
+// FS is the filesystem seam.
+type FS interface {
+	Sync() error
+}

@@ -1,0 +1,72 @@
+// Package lockorder exercises the global lock-acquisition graph: ordering
+// cycles across mutex fields, and channel/fsio waits while a lock is held
+// (directly or through a callee).
+package lockorder
+
+import (
+	"sync"
+
+	"fixture/lockorder/internal/fsio"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// Pair holds both lock owners so the two orderings share identities.
+type Pair struct {
+	a A
+	b B
+}
+
+func lockAB(p *Pair) {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock() // want "lock-order cycle"
+	p.b.mu.Unlock()
+}
+
+func lockBA(p *Pair) {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.a.mu.Lock() // want "lock-order cycle"
+	p.a.mu.Unlock()
+}
+
+// Q owns a mutex and a channel.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendWhileLocked(q *Q) {
+	q.mu.Lock() // want "channel send"
+	q.ch <- 1
+	q.mu.Unlock()
+}
+
+// sendAfterUnlock releases first: clean.
+func sendAfterUnlock(q *Q) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- 1
+}
+
+type S struct{ mu sync.Mutex }
+
+func syncWhileLocked(s *S, fs fsio.FS) error {
+	s.mu.Lock() // want "fsio call"
+	defer s.mu.Unlock()
+	return fs.Sync()
+}
+
+// drain blocks on a channel receive; holders of any lock inherit the wait.
+func drain(q *Q) {
+	<-q.ch
+}
+
+func drainWhileLocked(s *S, q *Q) {
+	s.mu.Lock() // want "channel receive"
+	drain(q)
+	s.mu.Unlock()
+}

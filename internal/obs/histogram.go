@@ -37,6 +37,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//grove:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Linear scan: bucket counts are small (≤ ~12) and the scan is
 	// branch-predictable, beating a binary search at this size.

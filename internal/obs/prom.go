@@ -118,7 +118,7 @@ func Serve(addr string, h http.Handler) (*Server, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: h}
-	//grovevet:ignore droppederr Serve always returns ErrServerClosed once Close is called
+	//grovevet:ignore droppederr,goroleak Serve always returns ErrServerClosed once Close is called; net/http recovers per-connection handler panics itself
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -29,9 +29,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//grove:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be ≥ 0 for the exposition to stay Prometheus-legal).
+//
+//grove:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -43,9 +47,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//grove:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adds n (may be negative).
+//
+//grove:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.

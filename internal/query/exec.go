@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grove/internal/agg"
@@ -133,6 +134,8 @@ func (e *Engine) Cache() *ResultCache { return e.cache }
 
 // ioNow converts the relation tracker's cumulative counters into the obs
 // package's I/O shape. Only called on traced paths: six atomic loads.
+//
+//grove:hotpath
 func (e *Engine) ioNow() obs.IODelta {
 	s := e.Rel.Tracker().Snapshot()
 	return obs.IODelta{
@@ -150,6 +153,8 @@ func (e *Engine) ioNow() obs.IODelta {
 // between bitmap fetches and between per-path aggregation chunks, so a
 // cancelled query abandons its remaining I/O promptly; work already done is
 // simply discarded (queries are read-only, there is nothing to roll back).
+//
+//grove:hotpath
 func (e *Engine) checkCtx(ctx context.Context, tr *obs.ActiveTrace) error {
 	if err := ctx.Err(); err != nil {
 		if tr != nil {
@@ -361,6 +366,8 @@ var sumReduce = agg.KernelFor(agg.Sum).Reduce
 // no intermediate value/presence slices), and accounts the cross-partition
 // record reassembly joins (§6.1). It returns the number of measure values
 // read.
+//
+//grove:hotpath
 func (r *Result) FetchMeasures() int64 {
 	if len(r.Subs) > 0 {
 		// Scatter-gathered result: every answer record lives in exactly one
@@ -696,14 +703,16 @@ var pathScratchPool = sync.Pool{New: func() any { return new(pathScratch) }}
 // gather batch-reads every planned column over the answer set into the
 // scratch slabs and resets the NULL mask. Missing columns produce a nil
 // gatheredSeg window.
+//
+//grove:hotpath
 func (sc *pathScratch) gather(recs []uint32, planned []plannedSeg) {
 	n := len(recs)
 	if need := len(planned) * n; cap(sc.vslab) < need {
-		sc.vslab = make([]float64, need)
-		sc.pslab = make([]bool, need)
+		sc.vslab = make([]float64, need) //grovevet:ignore hotalloc slab grow path; pooled scratch plateaus at the largest answer set, steady state reuses it
+		sc.pslab = make([]bool, need)    //grovevet:ignore hotalloc slab grow path; pooled scratch plateaus at the largest answer set, steady state reuses it
 	}
 	if cap(sc.null) < n {
-		sc.null = make([]bool, n)
+		sc.null = make([]bool, n) //grovevet:ignore hotalloc mask grow path; pooled scratch plateaus at the largest answer set, steady state reuses it
 	}
 	sc.null = sc.null[:n]
 	for i := range sc.null {
@@ -729,6 +738,8 @@ func (sc *pathScratch) gather(recs []uint32, planned []plannedSeg) {
 // required segments in path order until the first missing value, then the
 // optional node measures — so results are bit-for-bit identical even for
 // order-sensitive user functions. NULL records end as NaN.
+//
+//grove:hotpath
 func foldGathered(k agg.Kernel, vals []float64, sc *pathScratch) (scanned int) {
 	nulls := 0
 	for _, s := range sc.segs {
@@ -917,10 +928,16 @@ func (e *Engine) executePathAggQuery(ctx context.Context, q *PathAggQuery, tr *o
 		res.Values = make([][]float64, len(paths))
 		perPath := make([]int, len(paths))
 		var wg sync.WaitGroup
+		var panicked atomic.Value // first worker panic, re-raised on the caller
 		for pi := range paths {
 			wg.Add(1)
 			go func(pi int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, r) // keep the first panic; later ones repeat the same fold bug
+					}
+				}()
 				sc := pathScratchPool.Get().(*pathScratch)
 				sc.gather(res.RecordIDs, plans[pi])
 				vals := newVals()
@@ -930,6 +947,9 @@ func (e *Engine) executePathAggQuery(ctx context.Context, q *PathAggQuery, tr *o
 			}(pi)
 		}
 		wg.Wait()
+		if r := panicked.Load(); r != nil {
+			panic(r) // surface the worker's fault on the query goroutine, where callers can recover
+		}
 		for _, c := range perPath {
 			scanned += c
 		}

@@ -118,7 +118,7 @@ func (c *Coordinator) Save(dir string) error { return c.SaveFS(fsio.OS(), dir) }
 // above. On success the new generation set is durable and pinned; after a
 // crash at any point, Load recovers the previous committed cut bit-for-bit.
 func (c *Coordinator) SaveFS(fs fsio.FS, dir string) error {
-	c.saveMu.Lock()
+	c.saveMu.Lock() //grovevet:ignore lockorder saveMu serializes whole cross-shard commit cuts; it is expected to block on fsio for their duration
 	defer c.saveMu.Unlock()
 
 	if err := fs.MkdirAll(dir, 0o755); err != nil {

@@ -273,6 +273,8 @@ func (c *Coordinator) slowObserve(kind, qstr string, start time.Time, startIO ob
 
 // queryName renders a query's display string only when an observability hook
 // needs it, so the disabled scatter path never pays the rendering.
+//
+//grove:hotpath
 func (c *Coordinator) queryName(s fmt.Stringer) string {
 	if c.traces == nil && c.slow == nil {
 		return ""

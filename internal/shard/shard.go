@@ -126,6 +126,8 @@ func (c *Coordinator) Registry() *graph.Registry { return c.reg }
 // --- record-id mapping ------------------------------------------------------
 
 // globalID translates (shard, local) to the global record id.
+//
+//grove:hotpath
 func (c *Coordinator) globalID(s int, local uint32) uint32 {
 	return local*uint32(len(c.units)) + uint32(s)
 }
