@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench bench-smoke replay-smoke durability shard-diff check
+.PHONY: build test race lint fuzz-smoke bench bench-smoke replay-smoke durability shard-diff paged-diff check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,8 @@ fuzz-smoke:
 	$(GO) test ./internal/colstore/ -fuzz FuzzMeasureColumnRoundTrip -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzReadMeasureColumn -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzLoadCorrupt -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzDecodeBlock -fuzztime 3s
+	$(GO) test ./internal/colstore/ -fuzz FuzzBlockIndex -fuzztime 3s
 	$(GO) test ./internal/colstore/ -fuzz FuzzCurrentPointer -fuzztime 3s
 
 bench:
@@ -84,6 +86,17 @@ shard-diff:
 	$(GO) test ./internal/shard/ -run 'TestDifferential' -v
 	$(GO) test . -run 'TestShardedPublicDifferential' -v
 
+# The paged-storage differential gate: a saved-and-reloaded paged store must
+# return bit-identical answers to the in-memory store it was saved from —
+# signed zeros, ±MaxFloat64, denormals, deletions, all four block encodings,
+# single-shard and sharded, at pool budgets down to 1% — with the zone-skip
+# scalar plan engaged, the multi-block crash sweep green, and the hot
+# block-decode/zone-skip kernels allocation-free.
+paged-diff:
+	$(GO) test . -run 'TestPagedBitIdentical|TestPagedZoneSkipEngages|TestPagedShardedBitIdentical' -v
+	$(GO) test ./internal/colstore/ -run \
+		'TestSaveFaultSweepMultiBlock|TestDecodeBlockAllocs|TestAggregateSkipAllocs' -v
+
 # The full gate CI runs: vet, lint, build, tests, the durability sweep, then
 # the race-detector pass (which re-vets; harmless and keeps `make race`
 # self-contained).
@@ -96,4 +109,5 @@ check:
 	$(MAKE) replay-smoke
 	$(MAKE) durability
 	$(MAKE) shard-diff
+	$(MAKE) paged-diff
 	$(MAKE) race

@@ -252,6 +252,26 @@ func info(st *grove.Store) {
 	if len(s.TagKeys) > 0 {
 		fmt.Printf("tag keys:        %s\n", strings.Join(s.TagKeys, " "))
 	}
+	// Storage residency (DESIGN.md §13): logical is what the measure columns
+	// represent, on-disk is their encoded block payloads, resident is what is
+	// decoded in memory right now.
+	stg := s.Storage
+	fmt.Printf("measure bytes:   %d logical, %d on disk, %d resident\n",
+		stg.LogicalBytes, stg.OnDiskBytes, stg.ResidentBytes)
+	fmt.Printf("paged columns:   %d paged, %d resident\n", stg.PagedColumns, stg.ResidentColumns)
+	var encs []string
+	for i, n := range stg.BlockEncodings {
+		if n > 0 {
+			encs = append(encs, fmt.Sprintf("%s=%d", grove.BlockEncodingName(i), n))
+		}
+	}
+	if len(encs) > 0 {
+		fmt.Printf("value blocks:    %s\n", strings.Join(encs, " "))
+	}
+	if p := stg.Pool; p.Hits+p.Misses > 0 || p.BudgetBytes > 0 {
+		fmt.Printf("buffer pool:     %d hits, %d misses, %d evictions, %d/%d bytes\n",
+			p.Hits, p.Misses, p.Evictions, p.ResidentBytes, p.BudgetBytes)
+	}
 }
 
 func match(st *grove.Store, nodes []string, limit int) {

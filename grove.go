@@ -63,6 +63,13 @@ type (
 	Result = query.Result
 	// AggResult is a path-aggregation answer.
 	AggResult = query.AggResult
+	// ScalarAggResult is the answer of a scalar path aggregation — a single
+	// fold across every matching record, with block-skipping statistics.
+	ScalarAggResult = query.ScalarAggResult
+	// StorageStats is the storage-residency snapshot of the measure columns:
+	// logical vs. on-disk vs. resident bytes, block encoding mix, and buffer
+	// pool counters.
+	StorageStats = colstore.StorageStats
 	// IOStats is the I/O accounting snapshot of the underlying column store.
 	IOStats = colstore.Stats
 	// Bitmap is a compressed record-id set.
@@ -188,7 +195,7 @@ func (s *Store) GetRecord(id uint32) (*Record, error) {
 		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.coord.NumRecords())
 	}
 	rel := u.Rel
-	rel.BeginRead()
+	rel.BeginRead() //grovevet:ignore lockorder paged columns may fault value blocks from disk during Get; that I/O happens under the read lock by design (readers proceed, only writers wait) and the reconstruction must see one consistent cut
 	defer rel.EndRead()
 	if int(local) >= rel.NumRecords() {
 		return nil, fmt.Errorf("grove: record %d out of range (have %d)", id, s.coord.NumRecords())
@@ -267,6 +274,10 @@ type StoreStats struct {
 	Partitions     int
 	Shards         int
 	TagKeys        []string
+	// Storage is the paged-columnar residency breakdown: logical vs.
+	// on-disk vs. resident measure bytes, per-encoding block counts, and
+	// buffer pool counters, summed across shards.
+	Storage StorageStats
 }
 
 // Stats returns the store's summary statistics, aggregated across shards.
@@ -284,8 +295,44 @@ func (s *Store) Stats() StoreStats {
 		Partitions:     s.coord.MaxPartitions(),
 		Shards:         s.coord.NumShards(),
 		TagKeys:        s.coord.TagKeys(),
+		Storage:        s.coord.StorageStats(),
 	}
 }
+
+// StorageStats returns the measure-storage residency snapshot summed across
+// shards: how many bytes the columns represent logically, occupy encoded on
+// disk, and hold decoded in memory right now, plus the block encoding mix
+// and buffer pool hit/miss/eviction counters.
+func (s *Store) StorageStats() StorageStats { return s.coord.StorageStats() }
+
+// SetPageCacheBytes bounds the decoded-block buffer pool. The budget is
+// split evenly across shards; ≤ 0 removes the bound. Shrinking below current
+// residency evicts clock-style on the next block fault. Loaded paged stores
+// default to DefaultPageCacheBytes.
+func (s *Store) SetPageCacheBytes(n int64) { s.coord.SetPageCacheBytes(n) }
+
+// DefaultPageCacheBytes is the buffer pool budget a freshly loaded paged
+// store starts with (split across shards).
+const DefaultPageCacheBytes = colstore.DefaultPageCacheBytes
+
+// BlockEncodingName names slot i of StorageStats.BlockEncodings ("raw",
+// "xor", "dict", "rle").
+func BlockEncodingName(i int) string { return colstore.BlockEncodingName(i) }
+
+// NumBlockEncodings is the number of block encodings (the length of
+// StorageStats.BlockEncodings).
+const NumBlockEncodings = colstore.NumBlockEncodings
+
+// PageError returns the first sticky page-fault error, if lazily loading any
+// value block from the snapshot has failed. Queries that touched a failed
+// column already returned that error; this surfaces it for health checks.
+func (s *Store) PageError() error { return s.coord.PageError() }
+
+// Close releases the snapshot file handles a loaded store pages value blocks
+// from. The store remains usable — columns already resident stay readable,
+// and a subsequent block fault reopens its file — so Close is about
+// releasing descriptors, not ending the store's life.
+func (s *Store) Close() error { return s.coord.Close() }
 
 // Optimize recompresses all bitmap columns on every shard; call after bulk
 // loading.
@@ -469,6 +516,36 @@ func (s *Store) AggregateAlong(f AggFunc, p Path, measure string) (*AggResult, e
 		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
 	}
 	return s.aggregateQuery(context.Background(), query.NewPathAggQueryAlong(p, f, measure))
+}
+
+// AggregateScalar folds f across every record matching g — the scalar answer
+// "what is the MIN/MAX/SUM over all matching records", not the per-record
+// rows Aggregate returns. For MIN and MAX over paged columns the engine
+// answers with a zone-map block-skipping scan that reads only blocks whose
+// [min,max] range could still change the answer; the result is bit-identical
+// to folding Aggregate's rows. Scalar queries are an execution strategy, not
+// a distinct workload shape, so they bypass the workload recorder.
+func (s *Store) AggregateScalar(g *Graph, f AggFunc) (*ScalarAggResult, error) {
+	return s.AggregateScalarContext(context.Background(), g, f)
+}
+
+// AggregateScalarContext is AggregateScalar with cancellation.
+func (s *Store) AggregateScalarContext(ctx context.Context, g *Graph, f AggFunc) (*ScalarAggResult, error) {
+	return s.coord.AggregateScalarContext(ctx, query.NewPathAggQuery(g, f))
+}
+
+// AggregateScalarMeasure is AggregateScalar over a named measure.
+func (s *Store) AggregateScalarMeasure(g *Graph, f AggFunc, measure string) (*ScalarAggResult, error) {
+	return s.coord.AggregateScalarContext(context.Background(), query.NewPathAggQueryOn(g, f, measure))
+}
+
+// AggregateScalarPath folds f along the single path over the given nodes
+// into one scalar.
+func (s *Store) AggregateScalarPath(f AggFunc, nodes ...string) (*ScalarAggResult, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("grove: a path aggregation needs at least 2 nodes")
+	}
+	return s.AggregateScalar(PathOf(nodes...).ToGraph(), f)
 }
 
 // MeasureNames lists the named measures stored across all shards (the

@@ -137,7 +137,7 @@ func reduceSum(acc float64, values []float64) float64 {
 func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
-			if minReplaces(acc[i], v) {
+			if MinReplaces(acc[i], v) {
 				acc[i] = v
 			}
 		}
@@ -152,7 +152,7 @@ func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int)
 			newNulls++
 			continue
 		}
-		if minReplaces(acc[i], values[i]) {
+		if MinReplaces(acc[i], values[i]) {
 			acc[i] = values[i]
 		}
 		folded++
@@ -164,7 +164,7 @@ func foldMin(acc, values []float64, present, null []bool) (folded, newNulls int)
 func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
-			if minReplaces(acc[i], v) {
+			if MinReplaces(acc[i], v) {
 				acc[i] = v
 			}
 		}
@@ -172,7 +172,7 @@ func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 	}
 	for i, p := range present {
 		if p && !null[i] {
-			if minReplaces(acc[i], values[i]) {
+			if MinReplaces(acc[i], values[i]) {
 				acc[i] = values[i]
 			}
 			folded++
@@ -184,7 +184,7 @@ func foldMinOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 //grove:hotpath
 func reduceMin(acc float64, values []float64) float64 {
 	for _, v := range values {
-		if minReplaces(acc, v) {
+		if MinReplaces(acc, v) {
 			acc = v
 		}
 	}
@@ -197,7 +197,7 @@ func reduceMin(acc float64, values []float64) float64 {
 func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
-			if maxReplaces(acc[i], v) {
+			if MaxReplaces(acc[i], v) {
 				acc[i] = v
 			}
 		}
@@ -212,7 +212,7 @@ func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int)
 			newNulls++
 			continue
 		}
-		if maxReplaces(acc[i], values[i]) {
+		if MaxReplaces(acc[i], values[i]) {
 			acc[i] = values[i]
 		}
 		folded++
@@ -224,7 +224,7 @@ func foldMax(acc, values []float64, present, null []bool) (folded, newNulls int)
 func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls int) {
 	if present == nil {
 		for i, v := range values {
-			if maxReplaces(acc[i], v) {
+			if MaxReplaces(acc[i], v) {
 				acc[i] = v
 			}
 		}
@@ -232,7 +232,7 @@ func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 	}
 	for i, p := range present {
 		if p && !null[i] {
-			if maxReplaces(acc[i], values[i]) {
+			if MaxReplaces(acc[i], values[i]) {
 				acc[i] = values[i]
 			}
 			folded++
@@ -244,7 +244,7 @@ func foldMaxOpt(acc, values []float64, present, null []bool) (folded, newNulls i
 //grove:hotpath
 func reduceMax(acc float64, values []float64) float64 {
 	for _, v := range values {
-		if maxReplaces(acc, v) {
+		if MaxReplaces(acc, v) {
 			acc = v
 		}
 	}
@@ -298,16 +298,19 @@ func reduceCount(acc float64, values []float64) float64 {
 	return acc + float64(len(values))
 }
 
-// minReplaces reports whether folding v into acc with math.Min (the scalar
+// MinReplaces reports whether folding v into acc with math.Min (the scalar
 // Min.Fold) would change acc to v. Matching math.Min exactly — including
 // Min(+0,-0) = -0 — keeps the kernels bit-for-bit with the scalar path; NaN
-// never reaches a kernel (the column format rejects it).
-func minReplaces(acc, v float64) bool {
+// never reaches a kernel (the column format rejects it). MinReplaces(acc, v)
+// is exactly "v sorts strictly before acc" in the total order where -0
+// precedes +0, which is what makes it safe for the paged zone maps: a block
+// whose total-order minimum cannot replace acc holds no value that can.
+func MinReplaces(acc, v float64) bool {
 	return v < acc || (v == acc && math.Signbit(v) && !math.Signbit(acc))
 }
 
-// maxReplaces is minReplaces for math.Max: Max(-0,+0) = +0.
-func maxReplaces(acc, v float64) bool {
+// MaxReplaces is MinReplaces for math.Max: Max(-0,+0) = +0.
+func MaxReplaces(acc, v float64) bool {
 	return v > acc || (v == acc && !math.Signbit(v) && math.Signbit(acc))
 }
 

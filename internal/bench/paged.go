@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"grove"
+)
+
+// ExpPaged measures the tentpole trade of the paged columnar store: bytes
+// resident in memory vs. scan throughput, as the buffer pool budget shrinks
+// from unbounded down to 1% of the logical column bytes. Each budget runs
+// the same row-aggregation and scalar zone-skip workload; every answer is
+// checked bit-for-bit against the in-memory store the snapshot was saved
+// from before any timing is reported, so the table can only show configs
+// that return the exact same answers. The checked-in baseline is
+// BENCH_paged.json (regenerate with `grovebench -exp paged -json`).
+func ExpPaged(sc Scale) (*Table, error) {
+	numRecords := sc.NYRecords * 2
+	if numRecords <= 0 {
+		numRecords = 60000
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	// Measure mix mirrors real columns: a constant leg (run-length), a
+	// low-cardinality leg (dictionary), a smooth monotonic leg (XOR delta,
+	// and MIN zone-skip fodder), and an incompressible random leg (raw).
+	mem := grove.Open()
+	for i := 0; i < numRecords; i++ {
+		rec := grove.NewRecord()
+		if err := rec.SetEdge("A", "B", 3.5); err != nil {
+			return nil, err
+		}
+		if err := rec.SetEdge("B", "C", float64(rng.Intn(12))*0.25); err != nil {
+			return nil, err
+		}
+		if err := rec.SetEdge("C", "D", float64(1<<20+i)); err != nil {
+			return nil, err
+		}
+		if err := rec.SetEdge("D", "E", rng.NormFloat64()*1e6); err != nil {
+			return nil, err
+		}
+		mem.Add(rec)
+	}
+
+	dir, err := os.MkdirTemp("", "grove-bench-paged-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := mem.Save(dir); err != nil {
+		return nil, err
+	}
+
+	path := []string{"A", "B", "C", "D", "E"}
+	type answers struct {
+		rows    []uint64
+		minVal  uint64
+		skipped int
+	}
+	workload := func(st *grove.Store) (answers, error) {
+		res, err := st.AggregatePath(grove.Sum, path...)
+		if err != nil {
+			return answers{}, err
+		}
+		folded := res.FoldAcrossPaths()
+		out := answers{rows: make([]uint64, len(folded))}
+		for i, v := range folded {
+			out.rows[i] = math.Float64bits(v)
+		}
+		sres, err := st.AggregateScalarPath(grove.Min, "C", "D")
+		if err != nil {
+			return answers{}, err
+		}
+		out.minVal = math.Float64bits(sres.Value)
+		out.skipped = sres.BlocksSkipped
+		return out, nil
+	}
+	want, err := workload(mem)
+	if err != nil {
+		return nil, err
+	}
+
+	loaded, err := grove.LoadStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer loaded.Close()
+	logical := loaded.StorageStats().LogicalBytes
+	if logical <= 0 {
+		return nil, fmt.Errorf("bench: paged store reports %d logical bytes", logical)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Paged storage: resident bytes vs scan throughput, %d records", numRecords),
+		Columns: []string{"Pool budget", "Budget bytes", "Resident bytes", "Resident/logical",
+			"Scan (ms)", "MIN rows (ms)", "MIN skip (ms)", "Blocks skipped"},
+	}
+
+	// The PR 4 way to a scalar MIN: row plan (per-record aggregates) + fold.
+	minRows := func(st *grove.Store) {
+		res, err := st.AggregatePath(grove.Min, "C", "D")
+		if err == nil {
+			res.FoldAcrossPaths()
+		}
+	}
+	inMemStats := mem.StorageStats()
+	t.AddRow("in-memory", "-", fmt.Sprintf("%d", inMemStats.ResidentBytes), "1.00",
+		timeWorkloadMS(func() { _, _ = workload(mem) }), //grovevet:ignore droppederr timing rerun of a workload already verified above
+		timeWorkloadMS(func() { minRows(mem) }), "-", "-")
+
+	var worstResident int64
+	for _, pct := range []int64{100, 50, 10, 1} {
+		budget := logical * pct / 100
+		loaded.SetPageCacheBytes(budget)
+		got, err := workload(loaded) // also faults the working set in under this budget
+		if err != nil {
+			return nil, err
+		}
+		if len(got.rows) != len(want.rows) {
+			return nil, fmt.Errorf("bench: paged store at %d%% returned %d rows, want %d",
+				pct, len(got.rows), len(want.rows))
+		}
+		for i := range want.rows {
+			if got.rows[i] != want.rows[i] {
+				return nil, fmt.Errorf("bench: paged row %d diverges at %d%% budget: %x want %x",
+					i, pct, got.rows[i], want.rows[i])
+			}
+		}
+		if got.minVal != want.minVal {
+			return nil, fmt.Errorf("bench: paged scalar MIN diverges at %d%% budget: %x want %x",
+				pct, got.minVal, want.minVal)
+		}
+
+		scanMS := timeWorkloadMS(func() {
+			_, _ = loaded.AggregatePath(grove.Sum, path...) //grovevet:ignore droppederr timing rerun of a query already verified above
+		})
+		minRowsMS := timeWorkloadMS(func() { minRows(loaded) })
+		minMS := timeWorkloadMS(func() {
+			_, _ = loaded.AggregateScalarPath(grove.Min, "C", "D") //grovevet:ignore droppederr timing rerun of a query already verified above
+		})
+		resident := loaded.StorageStats().ResidentBytes
+		if resident > worstResident {
+			worstResident = resident
+		}
+		t.AddRow(fmt.Sprintf("%d%%", pct), fmt.Sprintf("%d", budget),
+			fmt.Sprintf("%d", resident), fmt.Sprintf("%.2f", float64(resident)/float64(logical)),
+			scanMS, minRowsMS, minMS, fmt.Sprintf("%d", got.skipped))
+	}
+
+	// The tentpole's acceptance bar: the paged store must answer the same
+	// workload with at least 2× fewer resident bytes than the in-memory
+	// columns at some budget. Columns smaller than a couple of blocks can't
+	// page anything out, so tiny scales only note the bar instead of failing.
+	loaded.SetPageCacheBytes(logical / 100)
+	if _, err := workload(loaded); err != nil {
+		return nil, err
+	}
+	minResident := loaded.StorageStats()
+	if logical >= 4*8*4096 && minResident.ResidentBytes*2 > logical {
+		return nil, fmt.Errorf("bench: 1%% budget leaves %d of %d logical bytes resident (< 2x reduction)",
+			minResident.ResidentBytes, logical)
+	}
+	t.AddNote("equal answers enforced bit-for-bit (row folds and zone-skipped scalar MIN) before timing")
+	t.AddNote("MIN rows = AggregatePath(MIN) + FoldAcrossPaths (the pre-paging row plan); MIN skip = AggregateScalarPath's zone-map plan")
+	t.AddNote("resident = decoded measure bytes in memory after the workload; logical = %d bytes", logical)
+	t.AddNote("on-disk encoded payload: %d bytes (%.2fx vs logical)",
+		minResident.OnDiskBytes, float64(logical)/float64(math.Max(1, float64(minResident.OnDiskBytes))))
+	return t, nil
+}
+
+// timeWorkloadMS runs f a few times and returns the best wall time in ms.
+func timeWorkloadMS(f func()) string {
+	f() // warm off the clock
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return fmtMS(float64(best.Nanoseconds()) / 1e6)
+}

@@ -13,12 +13,20 @@ import (
 )
 
 // MeasureColumn stores one float64 measure per record, with NULLs compressed
-// away: a presence bitmap plus a dense slice of the non-NULL values in record
-// id order. This is the columnar analogue of "vertical compression of columns
-// with many NULL values" (§4.1).
+// away: a presence bitmap plus the non-NULL values in record id order. This
+// is the columnar analogue of "vertical compression of columns with many
+// NULL values" (§4.1).
+//
+// The values live in exactly one of two places: a resident dense slice
+// (columns being written, and v1 snapshots) or a paged block index backed by
+// a snapshot file (v2 snapshots), faulted in block-at-a-time through the
+// relation's buffer pool. Readers go through valueReader / the paged
+// accessors so both representations answer identically; the first mutation
+// of a paged column materializes it (see paged.go).
 type MeasureColumn struct {
 	present *bitmap.Bitmap
 	values  []float64
+	paged   *pagedData
 }
 
 // NewMeasureColumn returns an empty measure column.
@@ -27,8 +35,18 @@ func NewMeasureColumn() *MeasureColumn {
 }
 
 // Set stores v for record rec, replacing any prior value. Appending in
-// ascending record order is O(1); out-of-order sets pay an O(n) insert.
+// ascending record order is O(1); out-of-order sets pay an O(n) insert. A
+// paged column is materialized in full on its first Set: written columns are
+// resident columns, and re-paging happens at the next Save/Load cycle.
 func (c *MeasureColumn) Set(rec uint32, v float64) {
+	if c.paged != nil {
+		if err := c.materialize(); err != nil {
+			// Materialization failed (disk fault). Drop the write rather than
+			// corrupt the column; the sticky source error is surfaced through
+			// Relation.PageError.
+			return
+		}
+	}
 	if c.present.Contains(rec) {
 		c.values[c.present.Rank(rec)-1] = v
 		return
@@ -50,20 +68,22 @@ func (c *MeasureColumn) Get(rec uint32) (v float64, ok bool) {
 	if !c.present.Contains(rec) {
 		return 0, false
 	}
-	return c.values[c.present.Rank(rec)-1], true
+	return c.valueAt(c.present.Rank(rec) - 1), true
 }
 
 // Present returns the presence bitmap. Callers must not mutate it.
 func (c *MeasureColumn) Present() *bitmap.Bitmap { return c.present }
 
 // Count returns the number of non-NULL entries.
-func (c *MeasureColumn) Count() int { return len(c.values) }
+func (c *MeasureColumn) Count() int { return c.valueCount() }
 
 // ForEach visits all non-NULL (rec, value) pairs in ascending record order.
 func (c *MeasureColumn) ForEach(f func(rec uint32, v float64) bool) {
+	var rd valueReader
+	rd.init(c)
 	i := 0
 	c.present.Each(func(rec uint32) bool {
-		ok := f(rec, c.values[i])
+		ok := f(rec, rd.at(i))
 		i++
 		return ok
 	})
@@ -80,16 +100,23 @@ func (c *MeasureColumn) ValuesFor(recs []uint32) (values []float64, present []bo
 	return values, present
 }
 
-// SizeBytes reports the approximate payload size (presence bitmap + values).
+// SizeBytes reports the approximate logical payload size (presence bitmap +
+// values). For a paged column this is deliberately the decoded size, not the
+// bytes currently resident: the cost model charges what a fetch logically
+// touches, and cache state must not change query costs. Residency is
+// reported separately by ResidentValueBytes/EncodedValueBytes.
 func (c *MeasureColumn) SizeBytes() int {
-	return c.present.SizeBytes() + 8*len(c.values)
+	return c.present.SizeBytes() + 8*c.valueCount()
 }
 
-// validate checks internal invariants; used by tests and loaders.
+// validate checks internal invariants; used by tests and loaders. For a
+// paged column only the cheap structural invariant is checked here — NaN
+// rejection happens at encode time (Save) and corruption is caught by the
+// snapshot checksum and the hardened block decoders.
 func (c *MeasureColumn) validate() error {
-	if c.present.Cardinality() != len(c.values) {
+	if c.present.Cardinality() != c.valueCount() {
 		return fmt.Errorf("colstore: measure column presence/value mismatch: %d vs %d",
-			c.present.Cardinality(), len(c.values))
+			c.present.Cardinality(), c.valueCount())
 	}
 	for _, v := range c.values {
 		if math.IsNaN(v) {

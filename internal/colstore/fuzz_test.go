@@ -98,10 +98,41 @@ func FuzzReadMeasureColumn(f *testing.F) {
 
 // FuzzLoadCorrupt writes fuzzed manifest.json and data.bin files and checks
 // Load either succeeds or errors — a corrupt on-disk relation must never
-// panic the loader.
+// panic the loader. Seeds include a real v2 (paged) snapshot so the fuzzer
+// mutates block indexes and zone maps, not just v1 bytes; when a corrupted
+// store does load, every measure column is scanned to fault its value blocks
+// in — corrupt payloads must surface as sticky page errors, never panics.
 func FuzzLoadCorrupt(f *testing.F) {
 	f.Add([]byte(`{"format_version":1}`), []byte{})
 	f.Add([]byte(`{"format_version":1,"num_records":3,"partition_width":1000,"edges":[1]}`), []byte{0x42, 0x56, 0x52, 0x47})
+	// A genuine v2 snapshot: its manifest and data bytes seed the mutation
+	// space with valid block-index and zone-map layout.
+	{
+		dir := f.TempDir()
+		r := NewRelation(0)
+		for i := 0; i < 3*BlockValues/2; i++ {
+			rec := r.NewRecord()
+			r.SetEdgeMeasure(rec, 1, float64(i%7))
+			r.SetEdgeMeasureNamed(rec, 1, "w", float64(i))
+		}
+		if err := r.Save(dir); err != nil {
+			f.Fatal(err)
+		}
+		gen, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		gdir := filepath.Join(dir, string(bytes.TrimSpace(gen)))
+		manifest, err := os.ReadFile(filepath.Join(gdir, "manifest.json"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(gdir, "data.bin"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(manifest, data)
+	}
 	f.Fuzz(func(t *testing.T, manifest, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644); err != nil {
@@ -129,8 +160,96 @@ func FuzzLoadCorrupt(f *testing.F) {
 		if err := os.WriteFile(filepath.Join(gdir, "CURRENT"), []byte("gen-000001\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if r, err := Load(gdir); err == nil && r == nil {
+		r, err := Load(gdir)
+		if err == nil && r == nil {
 			t.Fatal("generational Load returned nil relation with nil error")
+		}
+		if err == nil {
+			// A v2 load is lazy: corrupt block payloads only show up when a
+			// block faults in. Scan every column — any corruption must come
+			// back as zero values plus a sticky page error, never a panic.
+			scan := func(c *MeasureColumn) {
+				c.ForEach(func(uint32, float64) bool { return true })
+			}
+			for _, c := range r.measures {
+				scan(c)
+			}
+			for _, cols := range r.named {
+				for _, c := range cols {
+					scan(c)
+				}
+			}
+			_ = r.PageError()
+			_ = r.Close()
+		}
+	})
+}
+
+// FuzzDecodeBlock feeds arbitrary payload bytes, encoding tags and value
+// counts straight into the block decoder — the exact surface a corrupt page
+// hits after the block index passed validation. It must reject or fill dst
+// exactly, never panic or over-read.
+func FuzzDecodeBlock(f *testing.F) {
+	enc := &blockEncoder{}
+	for _, vals := range [][]float64{
+		{1, 2, 3, 4},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{math.Inf(1), math.Copysign(0, -1), 1e-308, -1e300},
+	} {
+		tag, payload, err := enc.encode(vals)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tag, uint16(len(vals)), append([]byte(nil), payload...))
+	}
+	f.Add(uint8(encRLE), uint16(BlockValues), []byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, tag uint8, count uint16, payload []byte) {
+		n := int(count) % (BlockValues + 1)
+		dst := make([]float64, n)
+		if err := decodeBlock(tag, payload, dst); err != nil {
+			return // rejected without panic: the contract for corrupt pages
+		}
+		if tag >= numEncodings {
+			t.Fatalf("decoder accepted unknown encoding %d", tag)
+		}
+	})
+}
+
+// FuzzBlockIndex feeds arbitrary bytes to the v2 block-index reader. It must
+// never panic, and anything it accepts must satisfy the tiling invariants
+// the paged read path depends on (per-block counts tile the column, bounded
+// payload lengths, known encodings).
+func FuzzBlockIndex(f *testing.F) {
+	f.Add([]byte{})
+	var buf bytes.Buffer
+	col := NewMeasureColumn()
+	for i := 0; i < BlockValues+3; i++ {
+		col.Set(uint32(i), float64(i))
+	}
+	if err := writeMeasureColumn(&buf, col); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		count, metas, err := readBlockIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		total := 0
+		for i, m := range metas {
+			if m.enc >= numEncodings {
+				t.Fatalf("block %d: accepted unknown encoding %d", i, m.enc)
+			}
+			if m.count == 0 || int(m.count) > BlockValues {
+				t.Fatalf("block %d: accepted count %d", i, m.count)
+			}
+			if m.encLen < 1 || m.encLen > maxBlockEncLen {
+				t.Fatalf("block %d: accepted payload length %d", i, m.encLen)
+			}
+			total += int(m.count)
+		}
+		if total != count {
+			t.Fatalf("accepted index where blocks hold %d values but column claims %d", total, count)
 		}
 	})
 }

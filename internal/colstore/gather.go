@@ -45,6 +45,8 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 	if len(recs) == 0 {
 		return 0
 	}
+	var rd valueReader
+	rd.init(c)
 	if !mergeGather(len(recs), c.Count()) {
 		scratch := rankScratchPool.Get().(*[]int32)
 		idx := *scratch
@@ -56,7 +58,7 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 		n := 0
 		for i, x := range idx {
 			if x >= 0 {
-				values[i] = c.values[x]
+				values[i] = rd.at(int(x))
 				present[i] = true
 				n++
 			} else {
@@ -87,7 +89,7 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 		// degenerates to a straight copy.
 		k := 0
 		for k < m && i < len(recs) && recs[i] == ids[k] {
-			values[i] = c.values[off+k]
+			values[i] = rd.at(off + k)
 			present[i] = true
 			i++
 			k++
@@ -102,7 +104,7 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 				break
 			}
 			if recs[i] == rec {
-				values[i] = c.values[off+k]
+				values[i] = rd.at(off + k)
 				present[i] = true
 				n++
 				i++
@@ -122,9 +124,11 @@ func (c *MeasureColumn) GatherInto(recs []uint32, values []float64, present []bo
 //
 //grove:hotpath
 func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(acc float64, values []float64) float64) (float64, int) {
-	if len(recs) == 0 || len(c.values) == 0 {
+	if len(recs) == 0 || c.valueCount() == 0 {
 		return acc, 0
 	}
+	var rd valueReader
+	rd.init(c)
 	var block [bitmap.BlockSize]float64 //grovevet:ignore hotalloc the block escapes through the reduce func value: one fixed-size buffer per call, amortized over BlockSize-wide folds
 	bn, n := 0, 0
 	if !mergeGather(len(recs), c.Count()) {
@@ -139,7 +143,7 @@ func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(ac
 			if x < 0 {
 				continue
 			}
-			block[bn] = c.values[x]
+			block[bn] = rd.at(int(x))
 			bn++
 			if bn == len(block) {
 				acc = reduce(acc, block[:])
@@ -160,14 +164,18 @@ func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(ac
 			}
 			// Aligned fast path: when the block matches recs one-for-one
 			// and the fold block is empty, reduce the column values
-			// directly — no copy at all.
+			// directly — no copy at all. window is nil when the span
+			// straddles a storage-block boundary of a paged column; the
+			// per-value loop below then preserves the exact fold order.
 			if bn == 0 && m <= len(recs)-i && recs[i] == ids[0] &&
 				recs[i+m-1] == ids[m-1] && alignedU32(recs[i:i+m], ids[:m]) {
-				acc = reduce(acc, c.values[off:off+m])
-				n += m
-				i += m
-				off += m
-				continue
+				if vals := rd.window(off, m); vals != nil {
+					acc = reduce(acc, vals)
+					n += m
+					i += m
+					off += m
+					continue
+				}
 			}
 			for k := 0; k < m; k++ {
 				rec := ids[k]
@@ -178,7 +186,7 @@ func (c *MeasureColumn) AggregateInto(recs []uint32, acc float64, reduce func(ac
 					break
 				}
 				if recs[i] == rec {
-					block[bn] = c.values[off+k]
+					block[bn] = rd.at(off + k)
 					bn++
 					i++
 					if bn == len(block) {

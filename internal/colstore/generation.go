@@ -212,12 +212,14 @@ func Rollback(dir, gen string) error {
 }
 
 // gcGenerations removes generations beyond the keep-count, never touching
-// the one CURRENT points at nor the protected one (the generation a sharded
-// coordinator's durable manifest still pins — collecting it would destroy
-// the cross-shard cut a crashed coordinated save must roll back to).
+// the one CURRENT points at nor any protected one: the generation a sharded
+// coordinator's durable manifest still pins (collecting it would destroy
+// the cross-shard cut a crashed coordinated save must roll back to), and
+// the generation a live relation lazily pages its measure blocks from
+// (collecting it would turn every later block fault into an I/O error).
 // Failures are returned but the snapshot the caller just installed is
 // already durable.
-func gcGenerations(fs fsio.FS, dir string, keep int, current, protect string) error {
+func gcGenerations(fs fsio.FS, dir string, keep int, current string, protects ...string) error {
 	if keep < 1 {
 		keep = 1
 	}
@@ -228,7 +230,13 @@ func gcGenerations(fs fsio.FS, dir string, keep int, current, protect string) er
 	gens := gensFromEntries(ents)
 	kept := 0
 	for _, g := range gens {
-		if g == current || (protect != "" && g == protect) || kept < keep {
+		protected := g == current
+		for _, p := range protects {
+			if p != "" && g == p {
+				protected = true
+			}
+		}
+		if protected || kept < keep {
 			kept++
 			continue
 		}

@@ -1,0 +1,795 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"grove/internal/agg"
+	"grove/internal/fsio"
+	"grove/internal/pagepool"
+)
+
+// Paged measure columns. The v2 snapshot format stores a measure column's
+// values as fixed-size blocks of BlockValues values in rank space (value
+// index x lives in block x/BlockValues). Each block carries a zone map
+// (total-order min/max of its values) and is compressed with whichever of
+// four lightweight encodings is smallest for its data. Loading a v2 snapshot
+// decodes nothing: blocks are paged in lazily through the relation's
+// pagepool.Pool on first access and evicted under memory pressure, so the
+// resident footprint tracks the working set instead of the dataset.
+//
+// Zone-map skipping: MinReplaces/MaxReplaces define a total order on
+// non-NaN float64 (with -0 ordered before +0), and a block's zone min is its
+// total-order minimum. For a MIN aggregate with running accumulator acc,
+// !MinReplaces(acc, zoneMin) implies !MinReplaces(acc, v) for every v in the
+// block, and acc only tightens as the fold proceeds — so a skipped block can
+// never influence the final accumulator, at any pool size, bit for bit.
+
+// BlockValues is the number of measure values per storage block.
+const BlockValues = 4096
+
+// Block encodings, chosen per block at write time by encoded size.
+const (
+	encRaw       = 0 // 8 bytes per value, little-endian float64 bits
+	encXor       = 1 // first value raw, then uvarint(bits XOR prev bits) per value
+	encDict      = 2 // u16 dict size (≤256), dict of raw values, u8 index per value
+	encRLE       = 3 // runs of uvarint(length) + raw value
+	numEncodings = 4
+)
+
+// EncodingName returns the human-readable name of a block encoding tag.
+func EncodingName(enc int) string {
+	switch enc {
+	case encRaw:
+		return "raw"
+	case encXor:
+		return "xor"
+	case encDict:
+		return "dict"
+	case encRLE:
+		return "rle"
+	}
+	return fmt.Sprintf("enc%d", enc)
+}
+
+// maxBlockEncLen bounds a single block's encoded payload. The worst real
+// encoding is XOR at 8 + 10·(BlockValues-1) bytes; anything larger in a
+// manifest is corruption.
+const maxBlockEncLen = 8 + 10*BlockValues
+
+// blockMeta is the in-memory block index entry: where the block's payload
+// sits in data.bin, how it is encoded, and its zone map.
+type blockMeta struct {
+	off     int64 // absolute payload offset in data.bin
+	encLen  uint32
+	enc     uint8
+	count   uint16 // values in this block (BlockValues except the last)
+	minBits uint64 // Float64bits of the total-order minimum
+	maxBits uint64 // Float64bits of the total-order maximum
+}
+
+// blockMetaDiskSize is the on-disk size of one block index entry:
+// u32 encLen + u8 enc + u16 count + u64 min + u64 max.
+const blockMetaDiskSize = 4 + 1 + 2 + 8 + 8
+
+// pageTokens hands out process-unique column tokens for pool keys, so blocks
+// of dropped or reloaded columns can never be served to a new column that
+// happens to reuse memory.
+var pageTokens atomic.Uint64
+
+// blocksSkipped counts measure blocks whose zone map proved they cannot
+// affect a MIN/MAX aggregate. Exposed as grove_scan_blocks_skipped_total.
+var blocksSkipped atomic.Int64
+
+// BlocksSkipped returns how many measure blocks zone maps skipped in this
+// process.
+func BlocksSkipped() int64 { return blocksSkipped.Load() }
+
+// --- page source -------------------------------------------------------------
+
+// pageSource reads block payloads from one snapshot's data.bin. The file
+// handle is opened lazily on the first fault and kept for the relation's
+// lifetime; I/O or decode errors latch sticky (the first error wins) so the
+// query layer can distinguish "zero because absent" from "zero because the
+// disk failed" after a scan.
+type pageSource struct {
+	fs   fsio.FS
+	path string
+
+	mu  sync.Mutex
+	f   fsio.File
+	err atomic.Pointer[error]
+}
+
+func newPageSource(fs fsio.FS, path string) *pageSource {
+	return &pageSource{fs: fs, path: path}
+}
+
+// fail latches err as the source's sticky error (first one wins).
+func (s *pageSource) fail(err error) {
+	s.err.CompareAndSwap(nil, &err)
+}
+
+// Err returns the sticky error, if any fault has failed.
+func (s *pageSource) Err() error {
+	if p := s.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// readAt fills p from the absolute offset off. Serialized: lazy open and the
+// positional read share one mutex — block faults are already amortized by
+// the pool, and fsio.File only guarantees ReadAt is safe per-handle.
+func (s *pageSource) readAt(p []byte, off int64) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock() //grovevet:ignore lockorder the mutex exists to serialize the lazy open with positional reads on one shared handle; waiting for that I/O is its purpose
+	defer s.mu.Unlock()
+	if s.f == nil {
+		f, err := s.fs.Open(s.path)
+		if err != nil {
+			err = fmt.Errorf("colstore: page source %s: %w", s.path, err)
+			s.fail(err)
+			return err
+		}
+		s.f = f
+	}
+	if _, err := s.f.ReadAt(p, off); err != nil {
+		err = fmt.Errorf("colstore: page read %s @%d: %w", s.path, off, err)
+		s.fail(err)
+		return err
+	}
+	return nil
+}
+
+// close releases the cached file handle (idempotent).
+func (s *pageSource) close() error {
+	s.mu.Lock() //grovevet:ignore lockorder close must not race the lazy open or an in-flight positional read on the shared handle; blocking on them is the point
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// --- paged column data -------------------------------------------------------
+
+// pagedData is the lazy half of a MeasureColumn loaded from a v2 snapshot:
+// the block index plus the machinery to fault blocks in. values on the
+// owning column stays nil until the column is materialized for writing.
+type pagedData struct {
+	count int
+	metas []blockMeta
+	src   *pageSource
+	token uint64
+	pool  *pagepool.Pool
+}
+
+func (p *pagedData) numBlocks() int { return len(p.metas) }
+
+// block returns the decoded block containing value index x along with the
+// [lo, hi) value-index window it covers. A nil slice means the fault failed;
+// the error is latched on the source.
+//
+//grove:hotpath
+func (p *pagedData) block(x int) (vals []float64, lo, hi int) {
+	bi := x / BlockValues
+	if bi < 0 || bi >= len(p.metas) {
+		return nil, 0, 0
+	}
+	vals = p.pageIn(uint32(bi))
+	lo = bi * BlockValues
+	return vals, lo, lo + len(vals)
+}
+
+// pageIn returns block bi decoded, consulting the pool first.
+//
+//grove:hotpath
+func (p *pagedData) pageIn(bi uint32) []float64 {
+	if p.pool != nil {
+		if vals := p.pool.Get(pagepool.Key{Col: p.token, Block: bi}); vals != nil {
+			return vals
+		}
+	}
+	vals := p.readBlock(int(bi))
+	if vals == nil {
+		return nil
+	}
+	if p.pool != nil {
+		vals = p.pool.Put(pagepool.Key{Col: p.token, Block: bi}, vals)
+	}
+	return vals
+}
+
+// readBlock reads and decodes block bi from the snapshot file, bypassing the
+// pool. The allocations live here, outside the hotpath-annotated callers.
+func (p *pagedData) readBlock(bi int) []float64 {
+	m := p.metas[bi]
+	buf := make([]byte, m.encLen)
+	if err := p.src.readAt(buf, m.off); err != nil {
+		return nil
+	}
+	vals := make([]float64, m.count)
+	if err := decodeBlock(m.enc, buf, vals); err != nil {
+		p.src.fail(fmt.Errorf("colstore: block %d of %s: %w", bi, p.src.path, err))
+		return nil
+	}
+	return vals
+}
+
+// invalidate drops the column's cached blocks from the pool.
+func (p *pagedData) invalidate() {
+	if p.pool != nil {
+		p.pool.InvalidateColumn(p.token)
+	}
+}
+
+// --- per-column paged accessors ----------------------------------------------
+
+// isPaged reports whether the column's values still live on disk.
+func (c *MeasureColumn) isPaged() bool { return c.paged != nil }
+
+// valueCount is Count without assuming residency.
+func (c *MeasureColumn) valueCount() int {
+	if c.paged != nil {
+		return c.paged.count
+	}
+	return len(c.values)
+}
+
+// valueAt reads value index x through the pool. Only for cold paths (Get,
+// ForEach); kernels use valueReader to amortize the block lookup.
+func (c *MeasureColumn) valueAt(x int) float64 {
+	if c.paged == nil {
+		return c.values[x]
+	}
+	vals, lo, _ := c.paged.block(x)
+	if vals == nil {
+		return 0
+	}
+	return vals[x-lo]
+}
+
+// blockRange returns the value-index window of block bi.
+func blockRange(bi, count int) (lo, hi int) {
+	lo = bi * BlockValues
+	hi = lo + BlockValues
+	if hi > count {
+		hi = count
+	}
+	return lo, hi
+}
+
+// blockValuesInto decodes block bi into dst (resident columns just slice),
+// bypassing the pool: the save path and materialization stream every block
+// exactly once, so caching them would only evict the query working set.
+func (c *MeasureColumn) blockValuesInto(bi int, dst []float64) ([]float64, error) {
+	if c.paged == nil {
+		lo, hi := blockRange(bi, len(c.values))
+		return c.values[lo:hi], nil
+	}
+	vals := c.paged.readBlock(bi)
+	if vals == nil {
+		return nil, c.paged.src.Err()
+	}
+	return vals, nil
+}
+
+// materialize decodes the whole column into a resident values slice and
+// detaches the paged data. Called (under the relation's write lock) before
+// any mutation: written columns are resident columns.
+func (c *MeasureColumn) materialize() error {
+	p := c.paged
+	if p == nil {
+		return nil
+	}
+	values := make([]float64, 0, p.count)
+	for bi := 0; bi < p.numBlocks(); bi++ {
+		vals := p.readBlock(bi)
+		if vals == nil {
+			return p.src.Err()
+		}
+		values = append(values, vals...)
+	}
+	c.values = values
+	c.paged = nil
+	p.invalidate()
+	return nil
+}
+
+// pageError returns the sticky fault error of the column's source, if any.
+func (c *MeasureColumn) pageError() error {
+	if c.paged == nil {
+		return nil
+	}
+	return c.paged.src.Err()
+}
+
+// ResidentValueBytes reports how many of the column's value bytes are
+// resident in memory right now: all of them for an in-memory column, the
+// pool-resident blocks' worth for a paged one (pool bytes are reported by
+// the pool itself; a paged column's own footprint is just its block index).
+func (c *MeasureColumn) ResidentValueBytes() int64 {
+	if c.paged != nil {
+		return int64(len(c.paged.metas)) * blockMetaDiskSize
+	}
+	return 8 * int64(len(c.values))
+}
+
+// EncodedValueBytes reports the on-disk encoded size of the column's values
+// (0 for a purely in-memory column, which has no encoded form yet).
+func (c *MeasureColumn) EncodedValueBytes() int64 {
+	if c.paged == nil {
+		return 0
+	}
+	var n int64
+	for _, m := range c.paged.metas {
+		n += int64(m.encLen)
+	}
+	return n
+}
+
+// BlockEncodings counts the column's blocks per encoding tag. All zeros for
+// an in-memory column.
+func (c *MeasureColumn) BlockEncodings() [numEncodings]int {
+	var out [numEncodings]int
+	if c.paged == nil {
+		return out
+	}
+	for _, m := range c.paged.metas {
+		out[m.enc]++
+	}
+	return out
+}
+
+// --- value reader cursor -----------------------------------------------------
+
+// valueReader is the kernels' cursor over a column's values: a resident
+// column is one full-width window, a paged column a sliding per-block window.
+// The in-window fast path is branch-predictable and allocation-free; the
+// block fault lives in a separate, unannotated method.
+type valueReader struct {
+	c      *MeasureColumn
+	blk    []float64
+	lo, hi int // value-index window [lo, hi) covered by blk
+}
+
+//grove:hotpath
+func (rd *valueReader) init(c *MeasureColumn) {
+	rd.c = c
+	if c.paged == nil {
+		rd.blk = c.values
+		rd.lo, rd.hi = 0, len(c.values)
+	} else {
+		rd.blk, rd.lo, rd.hi = nil, 0, 0
+	}
+}
+
+// at returns value index x, faulting its block in when the window misses.
+//
+//grove:hotpath
+func (rd *valueReader) at(x int) float64 {
+	if x >= rd.lo && x < rd.hi {
+		return rd.blk[x-rd.lo]
+	}
+	return rd.fault(x)
+}
+
+// fault repositions the window over x's block. On a failed fault (sticky
+// error on the source) it returns 0 and leaves the window empty; callers'
+// results are discarded by the error check at the end of the operation.
+func (rd *valueReader) fault(x int) float64 {
+	vals, lo, hi := rd.c.paged.block(x)
+	if vals == nil {
+		rd.blk, rd.lo, rd.hi = nil, 0, 0
+		return 0
+	}
+	rd.blk, rd.lo, rd.hi = vals, lo, hi
+	return vals[x-lo]
+}
+
+// window returns the contiguous value slice [off, off+n) when it fits inside
+// one block window, faulting that block in if needed; nil means the span
+// straddles a block boundary (or the fault failed) and the caller must fall
+// back to per-value reads.
+//
+//grove:hotpath
+func (rd *valueReader) window(off, n int) []float64 {
+	if off >= rd.lo && off+n <= rd.hi {
+		return rd.blk[off-rd.lo : off-rd.lo+n]
+	}
+	if rd.c.paged == nil {
+		return nil
+	}
+	if off/BlockValues != (off+n-1)/BlockValues {
+		return nil
+	}
+	if rd.fault(off); rd.blk == nil {
+		return nil
+	}
+	if off >= rd.lo && off+n <= rd.hi {
+		return rd.blk[off-rd.lo : off-rd.lo+n]
+	}
+	return nil
+}
+
+// --- zone-skipping aggregate scan --------------------------------------------
+
+// AggregateSkip folds the column's values for the given strictly ascending
+// record ids into a scalar MIN (isMin) or MAX accumulator, skipping whole
+// storage blocks whose zone map proves they cannot change the accumulator.
+// It returns the folded accumulator, how many values were actually examined
+// (the exact MeasuresScanned contribution), and how many blocks were scanned
+// vs. skipped. Resident columns have no zone maps and scan every block.
+//
+// acc is the running accumulator (the aggregate's identity to start). The
+// result is bit-identical to folding every present value in record order:
+// MIN/MAX folds are order-independent under the MinReplaces/MaxReplaces
+// total order, and skipped blocks are proven unable to replace acc.
+//
+//grove:hotpath
+func (c *MeasureColumn) AggregateSkip(recs []uint32, acc float64, isMin bool) (out float64, folded, scanned, skipped int) {
+	if len(recs) == 0 || c.valueCount() == 0 {
+		return acc, 0, 0, 0
+	}
+	scratch := rankScratchPool.Get().(*[]int32)
+	idx := *scratch
+	if cap(idx) < len(recs) {
+		idx = make([]int32, len(recs)) //grovevet:ignore hotalloc pooled-scratch grow path; plateaus at the largest answer set
+	}
+	idx = idx[:len(recs)]
+	c.present.RanksInto(recs, idx)
+	// Compact to present ranks only; they stay ascending.
+	n := 0
+	for _, x := range idx {
+		if x >= 0 {
+			idx[n] = x
+			n++
+		}
+	}
+	p := c.paged
+	i := 0
+	for i < n {
+		x := int(idx[i])
+		bi := x / BlockValues
+		end := int32((bi + 1) * BlockValues)
+		j := i + 1
+		for j < n && idx[j] < end {
+			j++
+		}
+		if p != nil {
+			zm := &p.metas[bi]
+			if isMin {
+				if !agg.MinReplaces(acc, math.Float64frombits(zm.minBits)) {
+					skipped++
+					i = j
+					continue
+				}
+			} else {
+				if !agg.MaxReplaces(acc, math.Float64frombits(zm.maxBits)) {
+					skipped++
+					i = j
+					continue
+				}
+			}
+			vals := p.pageIn(uint32(bi))
+			if vals == nil {
+				// Fault failed; sticky error is latched, result discarded.
+				i = j
+				continue
+			}
+			lo := bi * BlockValues
+			if isMin {
+				for k := i; k < j; k++ {
+					if v := vals[int(idx[k])-lo]; agg.MinReplaces(acc, v) {
+						acc = v
+					}
+				}
+			} else {
+				for k := i; k < j; k++ {
+					if v := vals[int(idx[k])-lo]; agg.MaxReplaces(acc, v) {
+						acc = v
+					}
+				}
+			}
+		} else {
+			if isMin {
+				for k := i; k < j; k++ {
+					if v := c.values[idx[k]]; agg.MinReplaces(acc, v) {
+						acc = v
+					}
+				}
+			} else {
+				for k := i; k < j; k++ {
+					if v := c.values[idx[k]]; agg.MaxReplaces(acc, v) {
+						acc = v
+					}
+				}
+			}
+		}
+		folded += j - i
+		scanned++
+		i = j
+	}
+	*scratch = idx
+	rankScratchPool.Put(scratch)
+	if skipped > 0 {
+		blocksSkipped.Add(int64(skipped))
+	}
+	return acc, folded, scanned, skipped
+}
+
+// --- block encoding ----------------------------------------------------------
+
+// zoneOf computes a block's zone map: the total-order min and max of vals
+// under the MinReplaces/MaxReplaces order (-0 sorts before +0).
+func zoneOf(vals []float64) (minBits, maxBits uint64) {
+	zmin, zmax := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if agg.MinReplaces(zmin, v) {
+			zmin = v
+		}
+		if agg.MaxReplaces(zmax, v) {
+			zmax = v
+		}
+	}
+	return math.Float64bits(zmin), math.Float64bits(zmax)
+}
+
+// blockEncoder holds the reusable scratch of the per-block encoding choice.
+type blockEncoder struct {
+	buf  []byte           // winning payload
+	alt  []byte           // candidate payload
+	dict map[uint64]uint8 // value bits → dict index
+}
+
+// encode compresses one block of values, returning the chosen encoding tag
+// and its payload (valid until the next encode call). The choice is purely
+// by encoded size with ties broken in tag order (raw first), so re-encoding
+// a decoded block always reproduces identical bytes — Save stays
+// deterministic, which the crash-sweep's bit-exactness check relies on.
+func (e *blockEncoder) encode(vals []float64) (uint8, []byte, error) {
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			return 0, nil, fmt.Errorf("colstore: NaN measure value")
+		}
+	}
+	e.buf = appendRaw(e.buf[:0], vals)
+	best := uint8(encRaw)
+	if alt, ok := e.appendXor(vals, len(e.buf)); ok {
+		e.buf, e.alt = alt, e.buf
+		best = encXor
+	}
+	if alt, ok := e.appendDict(vals, len(e.buf)); ok {
+		e.buf, e.alt = alt, e.buf
+		best = encDict
+	}
+	if alt, ok := e.appendRLE(vals, len(e.buf)); ok {
+		e.buf, e.alt = alt, e.buf
+		best = encRLE
+	}
+	return best, e.buf, nil
+}
+
+func appendRaw(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// appendXor encodes vals as first-value-raw + uvarint XOR deltas, reporting
+// success only when strictly smaller than limit.
+func (e *blockEncoder) appendXor(vals []float64, limit int) ([]byte, bool) {
+	dst := e.alt[:0]
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(vals[0]))
+	prev := math.Float64bits(vals[0])
+	for _, v := range vals[1:] {
+		bits := math.Float64bits(v)
+		dst = binary.AppendUvarint(dst, bits^prev)
+		prev = bits
+		if len(dst) >= limit {
+			e.alt = dst
+			return nil, false
+		}
+	}
+	e.alt = dst
+	return dst, len(dst) < limit
+}
+
+// appendDict encodes vals as a ≤256-entry dictionary + one index byte per
+// value, reporting success only when the cardinality fits and the result is
+// strictly smaller than limit.
+func (e *blockEncoder) appendDict(vals []float64, limit int) ([]byte, bool) {
+	size := 2 + len(vals) // header + indexes; dict entries added below
+	if e.dict == nil {
+		e.dict = make(map[uint64]uint8, 256)
+	}
+	clear(e.dict)
+	dst := e.alt[:0]
+	dst = append(dst, 0, 0) // dict size, patched below
+	var entries [256]uint64
+	n := 0
+	idxs := make([]uint8, 0, len(vals))
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		id, ok := e.dict[bits]
+		if !ok {
+			if n == 256 {
+				e.alt = dst
+				return nil, false
+			}
+			id = uint8(n)
+			e.dict[bits] = id
+			entries[n] = bits
+			n++
+		}
+		idxs = append(idxs, id)
+	}
+	size += 8 * n
+	if size >= limit {
+		e.alt = dst
+		return nil, false
+	}
+	binary.LittleEndian.PutUint16(dst[:2], uint16(n))
+	for i := 0; i < n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, entries[i])
+	}
+	dst = append(dst, idxs...)
+	e.alt = dst
+	return dst, true
+}
+
+// appendRLE encodes vals as (uvarint run length, raw value) runs, reporting
+// success only when strictly smaller than limit.
+func (e *blockEncoder) appendRLE(vals []float64, limit int) ([]byte, bool) {
+	dst := e.alt[:0]
+	for i := 0; i < len(vals); {
+		bits := math.Float64bits(vals[i])
+		j := i + 1
+		for j < len(vals) && math.Float64bits(vals[j]) == bits {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = binary.LittleEndian.AppendUint64(dst, bits)
+		if len(dst) >= limit {
+			e.alt = dst
+			return nil, false
+		}
+		i = j
+	}
+	e.alt = dst
+	return dst, len(dst) < limit
+}
+
+// --- block decoding ----------------------------------------------------------
+
+// Decoder failures are sentinel errors, not formatted ones: the decoders are
+// //grove:hotpath (the hotalloc lint proves them allocation-free), and
+// fmt.Errorf would box its arguments on the success-path's stack frame. The
+// callers wrap with the block index, which locates the damage well enough.
+var (
+	errUnknownEncoding = errors.New("unknown block encoding")
+	errRawCorrupt      = errors.New("raw block: payload size mismatch")
+	errXorCorrupt      = errors.New("xor block: corrupt payload")
+	errDictCorrupt     = errors.New("dict block: corrupt payload")
+	errRLECorrupt      = errors.New("rle block: corrupt payload")
+)
+
+// decodeBlock decodes one block payload into dst (len(dst) = the block's
+// value count). Every branch bounds-checks against the payload before
+// reading: the payload is disk input, and a corrupt page must fail cleanly —
+// never panic or over-read. Strictness (the payload must be consumed
+// exactly) doubles as a save-determinism check.
+//
+//grove:hotpath
+func decodeBlock(enc uint8, payload []byte, dst []float64) error {
+	switch enc {
+	case encRaw:
+		return decodeRaw(payload, dst)
+	case encXor:
+		return decodeXor(payload, dst)
+	case encDict:
+		return decodeDict(payload, dst)
+	case encRLE:
+		return decodeRLE(payload, dst)
+	}
+	return errUnknownEncoding
+}
+
+//grove:hotpath
+func decodeRaw(payload []byte, dst []float64) error {
+	if len(payload) != 8*len(dst) {
+		return errRawCorrupt
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return nil
+}
+
+//grove:hotpath
+func decodeXor(payload []byte, dst []float64) error {
+	if len(dst) == 0 || len(payload) < 8 {
+		return errXorCorrupt
+	}
+	prev := binary.LittleEndian.Uint64(payload)
+	dst[0] = math.Float64frombits(prev)
+	pos := 8
+	for i := 1; i < len(dst); i++ {
+		delta, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return errXorCorrupt
+		}
+		pos += n
+		prev ^= delta
+		dst[i] = math.Float64frombits(prev)
+	}
+	if pos != len(payload) {
+		return errXorCorrupt
+	}
+	return nil
+}
+
+//grove:hotpath
+func decodeDict(payload []byte, dst []float64) error {
+	if len(payload) < 2 {
+		return errDictCorrupt
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if n < 1 || n > 256 {
+		return errDictCorrupt
+	}
+	if len(payload) != 2+8*n+len(dst) {
+		return errDictCorrupt
+	}
+	var dict [256]float64
+	for i := 0; i < n; i++ {
+		dict[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[2+8*i:]))
+	}
+	idxs := payload[2+8*n:]
+	for i := range dst {
+		id := int(idxs[i])
+		if id >= n {
+			return errDictCorrupt
+		}
+		dst[i] = dict[id]
+	}
+	return nil
+}
+
+//grove:hotpath
+func decodeRLE(payload []byte, dst []float64) error {
+	pos, out := 0, 0
+	for out < len(dst) {
+		runLen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return errRLECorrupt
+		}
+		pos += n
+		if runLen == 0 || runLen > uint64(len(dst)-out) {
+			return errRLECorrupt
+		}
+		if pos+8 > len(payload) {
+			return errRLECorrupt
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+		pos += 8
+		for i := uint64(0); i < runLen; i++ {
+			dst[out] = v
+			out++
+		}
+	}
+	if pos != len(payload) {
+		return errRLECorrupt
+	}
+	return nil
+}

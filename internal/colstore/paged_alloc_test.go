@@ -1,0 +1,78 @@
+package colstore
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDecodeBlockAllocs pins the block decoders' steady-state allocation
+// count at zero: they run on every buffer pool miss, and the hotalloc lint's
+// static proof deserves a dynamic witness.
+func TestDecodeBlockAllocs(t *testing.T) {
+	enc := &blockEncoder{}
+	cases := map[string][]float64{
+		"rle":  {7, 7, 7, 7, 7, 7, 7, 7},
+		"dict": {1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1},
+		"xor":  {1048576, 1048577, 1048578, 1048579, 1048580, 1048581},
+		"raw":  {math.Pi, -math.E, 1e-300, math.Copysign(0, -1), 2.5e17, -9e-8},
+	}
+	for name, vals := range cases {
+		tag, payload, err := enc.encode(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := EncodingName(int(tag)); got != name {
+			t.Fatalf("fixture %q encoded as %q; fix the fixture", name, got)
+		}
+		dst := make([]float64, len(vals))
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := decodeBlock(tag, payload, dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s decode allocates %v per run, want 0", name, allocs)
+		}
+	}
+}
+
+// TestAggregateSkipAllocs pins the zone-skipping scan's steady-state
+// allocations: once the touched blocks are resident (pool hits) and the rank
+// scratch has plateaued, repeated scans must not allocate.
+func TestAggregateSkipAllocs(t *testing.T) {
+	r := NewRelation(0)
+	const n = 2*BlockValues + 100
+	recs := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		rec := r.NewRecord()
+		r.SetEdgeMeasure(rec, 1, float64(1<<20+i))
+		recs = append(recs, rec)
+	}
+	dir := t.TempDir()
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	col := loaded.MeasureColumn(1)
+	if col == nil {
+		t.Fatal("loaded relation lost column 1")
+	}
+
+	// Warm: fault the blocks in and let the rank scratch grow.
+	if _, folded, _, _ := col.AggregateSkip(recs, math.Inf(1), true); folded == 0 {
+		t.Fatal("warm scan folded nothing")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		col.AggregateSkip(recs, math.Inf(1), true)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state AggregateSkip allocates %v per run, want 0", allocs)
+	}
+	if err := loaded.PageError(); err != nil {
+		t.Fatal(err)
+	}
+}

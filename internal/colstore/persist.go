@@ -13,6 +13,7 @@ import (
 	"grove/internal/agg"
 	"grove/internal/bitmap"
 	"grove/internal/fsio"
+	"grove/internal/pagepool"
 )
 
 // On-disk layout: a store directory holding snapshot generations (see
@@ -21,8 +22,14 @@ import (
 //	manifest.json — schema: record count, partition width, edge ids, views
 //	data.bin      — column payloads, in manifest order
 //
-// Measure columns are stored as presence bitmap + packed float64 values, so
-// NULLs occupy no space on disk either.
+// Measure columns are stored as presence bitmap + value payload, so NULLs
+// occupy no space on disk either. Format version 2 stores the values paged:
+// a block index (per-block encoding tag, payload length, value count and
+// zone map, see paged.go) followed by the compressed block payloads. Version
+// 2 snapshots load lazily — only the presence bitmaps and block indexes are
+// decoded up front; value blocks fault in through the relation's buffer
+// pool on first access. Version 1 snapshots (packed raw float64 values)
+// still load, eagerly, exactly as before.
 
 type manifest struct {
 	FormatVersion int    `json:"format_version"`
@@ -64,7 +71,12 @@ type manifestAgg struct {
 	Measure string   `json:"measure,omitempty"` // measure name ("" = default)
 }
 
-const formatVersion = 1
+// formatVersion is what Save writes. Load additionally accepts
+// formatVersionV1 (eager packed-value measure columns).
+const (
+	formatVersionV1 = 1
+	formatVersion   = 2
+)
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -140,7 +152,7 @@ func (r *Relation) SaveFSGen(fs fsio.FS, dir string) (string, error) {
 	if err := installCurrent(fs, dir, gen); err != nil {
 		return "", err
 	}
-	return gen, gcGenerations(fs, dir, r.snapshotKeep(), gen, r.gcProtectName())
+	return gen, gcGenerations(fs, dir, r.snapshotKeep(), gen, r.gcProtectName(), r.sourceGenName())
 }
 
 // LoadGenerationFS loads one specific snapshot generation of dir, ignoring
@@ -151,7 +163,12 @@ func LoadGenerationFS(fs fsio.FS, dir, gen string) (*Relation, error) {
 	if _, ok := parseGenName(gen); !ok {
 		return nil, fmt.Errorf("colstore: load: %q is not a generation name", gen)
 	}
-	return loadSnapshot(fs, filepath.Join(dir, gen))
+	r, err := loadSnapshot(fs, filepath.Join(dir, gen))
+	if err != nil {
+		return nil, err
+	}
+	r.setSourceGen(gen)
+	return r, nil
 }
 
 // writeSnapshot writes one complete snapshot — data.bin then manifest.json,
@@ -313,6 +330,9 @@ func LoadFS(fs fsio.FS, dir string) (*Relation, error) {
 				// pointer itself was lost); an older snapshot saved the day.
 				persistRecoveries.Add(1)
 			}
+			// Pin the generation we now lazily page value blocks from: a
+			// later Save's GC must not collect it out from under the pool.
+			r.setSourceGen(g)
 			return r, nil
 		}
 		if firstErr == nil {
@@ -332,7 +352,7 @@ func readManifest(fs fsio.FS, dir string) (*manifest, error) {
 	if err := json.Unmarshal(mb, &m); err != nil {
 		return nil, fmt.Errorf("colstore: load manifest: %w", err)
 	}
-	if m.FormatVersion != formatVersion {
+	if m.FormatVersion != formatVersion && m.FormatVersion != formatVersionV1 {
 		return nil, fmt.Errorf("colstore: unsupported format version %d", m.FormatVersion)
 	}
 	return &m, nil
@@ -375,7 +395,8 @@ func verifySnapshot(fs fsio.FS, dir string) error {
 
 // loadSnapshot decodes the single snapshot in dir. Integrity is verified up
 // front: a flipped bit deep in a column must not surface later as a
-// silently wrong answer.
+// silently wrong answer — for a v2 snapshot the full-file checksum is what
+// lets the value blocks stay on disk unread until first access.
 func loadSnapshot(fs fsio.FS, dir string) (*Relation, error) {
 	m, err := readManifest(fs, dir)
 	if err != nil {
@@ -389,10 +410,20 @@ func loadSnapshot(fs fsio.FS, dir string) (*Relation, error) {
 		return nil, fmt.Errorf("colstore: load data: %w", err)
 	}
 	defer f.Close()
-	rd := bufio.NewReaderSize(f, 1<<20)
+	// The counting reader tracks the absolute data.bin offset so the block
+	// indexes of a v2 snapshot can record where each payload lives.
+	rd := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
 
 	r := NewRelation(m.PartWidth)
 	r.numRecords.Store(m.NumRecords)
+
+	ld := snapLoader{cr: rd, ver: m.FormatVersion}
+	if m.FormatVersion >= formatVersion {
+		ld.src = newPageSource(fs, filepath.Join(dir, "data.bin"))
+		ld.pool = pagepool.New(DefaultPageCacheBytes)
+		r.pagePool = ld.pool
+		r.pageSrcs = append(r.pageSrcs, ld.src)
+	}
 
 	for _, me := range m.Edges {
 		b := bitmap.New()
@@ -401,14 +432,14 @@ func loadSnapshot(fs fsio.FS, dir string) (*Relation, error) {
 		}
 		r.bitmaps[me.ID] = NewBitmapColumnFrom(b)
 		if me.HasMeasure {
-			mc, err := readMeasureColumn(rd)
+			mc, err := ld.measureColumn()
 			if err != nil {
 				return nil, fmt.Errorf("colstore: load edge %d measures: %w", me.ID, err)
 			}
 			r.measures[me.ID] = mc
 		}
 		for _, name := range me.MeasureNames {
-			mc, err := readMeasureColumn(rd)
+			mc, err := ld.measureColumn()
 			if err != nil {
 				return nil, fmt.Errorf("colstore: load edge %d measure %q: %w", me.ID, name, err)
 			}
@@ -432,7 +463,7 @@ func loadSnapshot(fs fsio.FS, dir string) (*Relation, error) {
 		if _, err := b.ReadFrom(rd); err != nil {
 			return nil, fmt.Errorf("colstore: load agg view %q bitmap: %w", ma.Name, err)
 		}
-		mc, err := readMeasureColumn(rd)
+		mc, err := ld.measureColumn()
 		if err != nil {
 			return nil, fmt.Errorf("colstore: load agg view %q measures: %w", ma.Name, err)
 		}
@@ -487,6 +518,43 @@ func DiskSizeBytes(dir string) (int64, error) {
 	return n, nil
 }
 
+// countingReader tracks the absolute offset of a sequential read stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// snapLoader dispatches measure-column decoding by snapshot format version.
+type snapLoader struct {
+	cr   *countingReader
+	ver  int
+	src  *pageSource // v2 only
+	pool *pagepool.Pool
+}
+
+func (l *snapLoader) measureColumn() (*MeasureColumn, error) {
+	if l.ver == formatVersionV1 {
+		return readMeasureColumnV1(l.cr)
+	}
+	return readPagedMeasureColumn(l.cr, l.src, l.pool)
+}
+
+// writeMeasureColumn writes a measure column in the v2 paged format:
+// presence bitmap, u32 value count, u32 block count, the block index
+// (per-block u32 payload length, u8 encoding, u16 value count, u64 zone min
+// bits, u64 zone max bits), then the concatenated block payloads.
+//
+// The writer streams the values block-at-a-time — a paged column is saved by
+// decoding each block straight from its source, never materializing the
+// whole column — and the per-block encoding choice is deterministic, so
+// saving a loaded snapshot reproduces it byte for byte (the crash sweep's
+// bit-exactness check depends on this).
 func writeMeasureColumn(w io.Writer, m *MeasureColumn) error {
 	if err := m.validate(); err != nil {
 		return err
@@ -494,20 +562,165 @@ func writeMeasureColumn(w io.Writer, m *MeasureColumn) error {
 	if _, err := m.present.WriteTo(w); err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(m.values)))
+	count := m.valueCount()
+	numBlocks := (count + BlockValues - 1) / BlockValues
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(numBlocks))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	buf := make([]byte, 8*len(m.values))
-	for i, v := range m.values {
-		binary.LittleEndian.PutUint64(buf[8*i:], floatBits(v))
+	var enc blockEncoder
+	index := make([]byte, 0, numBlocks*blockMetaDiskSize)
+	payloads := make([]byte, 0, 8*min(count, BlockValues))
+	var meta [blockMetaDiskSize]byte
+	for bi := 0; bi < numBlocks; bi++ {
+		vals, err := m.blockValuesInto(bi, nil)
+		if err != nil {
+			return err
+		}
+		tag, payload, err := enc.encode(vals)
+		if err != nil {
+			return err
+		}
+		minBits, maxBits := zoneOf(vals)
+		binary.LittleEndian.PutUint32(meta[0:], uint32(len(payload)))
+		meta[4] = tag
+		binary.LittleEndian.PutUint16(meta[5:], uint16(len(vals)))
+		binary.LittleEndian.PutUint64(meta[7:], minBits)
+		binary.LittleEndian.PutUint64(meta[15:], maxBits)
+		index = append(index, meta[:]...)
+		payloads = append(payloads, payload...)
 	}
-	_, err := w.Write(buf)
+	if _, err := w.Write(index); err != nil {
+		return err
+	}
+	_, err := w.Write(payloads)
 	return err
 }
 
+// readBlockIndex reads and validates a v2 column's value count and block
+// index from rd. Every field is treated as hostile input: block counts must
+// be exactly ceil(count/BlockValues), per-block value counts must tile the
+// column, encoding tags and payload lengths are bounded. Offsets are NOT
+// assigned here — the caller derives them from its stream position.
+func readBlockIndex(rd io.Reader) (count int, metas []blockMeta, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	count = int(binary.LittleEndian.Uint32(hdr[:4]))
+	numBlocks := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if want := (count + BlockValues - 1) / BlockValues; numBlocks != want {
+		return 0, nil, fmt.Errorf("colstore: block index claims %d blocks for %d values (want %d)",
+			numBlocks, count, want)
+	}
+	// Read metas one at a time so allocation tracks bytes actually read, not
+	// the header's claim (a tiny corrupt file must not allocate gigabytes).
+	var mb [blockMetaDiskSize]byte
+	for bi := 0; bi < numBlocks; bi++ {
+		if _, err := io.ReadFull(rd, mb[:]); err != nil {
+			return 0, nil, err
+		}
+		m := blockMeta{
+			encLen:  binary.LittleEndian.Uint32(mb[0:]),
+			enc:     mb[4],
+			count:   binary.LittleEndian.Uint16(mb[5:]),
+			minBits: binary.LittleEndian.Uint64(mb[7:]),
+			maxBits: binary.LittleEndian.Uint64(mb[15:]),
+		}
+		wantCnt := BlockValues
+		if bi == numBlocks-1 {
+			wantCnt = count - bi*BlockValues
+		}
+		if int(m.count) != wantCnt {
+			return 0, nil, fmt.Errorf("colstore: block %d holds %d values, want %d", bi, m.count, wantCnt)
+		}
+		if m.enc >= numEncodings {
+			return 0, nil, fmt.Errorf("colstore: block %d has unknown encoding %d", bi, m.enc)
+		}
+		if m.encLen < 1 || m.encLen > maxBlockEncLen {
+			return 0, nil, fmt.Errorf("colstore: block %d payload length %d out of range", bi, m.encLen)
+		}
+		metas = append(metas, m)
+	}
+	return count, metas, nil
+}
+
+// readPagedMeasureColumn reads a v2 column header and block index from the
+// stream, skips over the payloads, and returns a lazily paged column whose
+// blocks fault in from src through pool.
+func readPagedMeasureColumn(cr *countingReader, src *pageSource, pool *pagepool.Pool) (*MeasureColumn, error) {
+	m := NewMeasureColumn()
+	if _, err := m.present.ReadFrom(cr); err != nil {
+		return nil, err
+	}
+	count, metas, err := readBlockIndex(cr)
+	if err != nil {
+		return nil, err
+	}
+	if count != m.present.Cardinality() {
+		return nil, fmt.Errorf("colstore: measure count %d does not match presence %d",
+			count, m.present.Cardinality())
+	}
+	var total int64
+	base := cr.n
+	for i := range metas {
+		metas[i].off = base + total
+		total += int64(metas[i].encLen)
+	}
+	if _, err := io.CopyN(io.Discard, cr, total); err != nil {
+		return nil, fmt.Errorf("colstore: skip %d payload bytes: %w", total, err)
+	}
+	if count == 0 {
+		return m, nil
+	}
+	m.paged = &pagedData{
+		count: count,
+		metas: metas,
+		src:   src,
+		token: pageTokens.Add(1),
+		pool:  pool,
+	}
+	return m, m.validate()
+}
+
+// readMeasureColumn eagerly decodes a v2 measure column from rd into a
+// resident column: the round-trip complement of writeMeasureColumn for
+// contexts without a seekable source (fuzzers, tools).
 func readMeasureColumn(rd io.Reader) (*MeasureColumn, error) {
+	m := NewMeasureColumn()
+	if _, err := m.present.ReadFrom(rd); err != nil {
+		return nil, err
+	}
+	count, metas, err := readBlockIndex(rd)
+	if err != nil {
+		return nil, err
+	}
+	if count != m.present.Cardinality() {
+		return nil, fmt.Errorf("colstore: measure count %d does not match presence %d",
+			count, m.present.Cardinality())
+	}
+	m.values = make([]float64, 0, min(count, BlockValues))
+	payload := make([]byte, 0, maxBlockEncLen)
+	var block [BlockValues]float64
+	for bi, meta := range metas {
+		payload = payload[:meta.encLen]
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			return nil, err
+		}
+		dst := block[:meta.count]
+		if err := decodeBlock(meta.enc, payload, dst); err != nil {
+			return nil, fmt.Errorf("colstore: block %d: %w", bi, err)
+		}
+		m.values = append(m.values, dst...)
+	}
+	return m, m.validate()
+}
+
+// readMeasureColumnV1 decodes the version-1 packed-value layout: presence
+// bitmap, u32 count, count raw little-endian float64s.
+func readMeasureColumnV1(rd io.Reader) (*MeasureColumn, error) {
 	m := NewMeasureColumn()
 	if _, err := m.present.ReadFrom(rd); err != nil {
 		return nil, err

@@ -113,6 +113,81 @@ func TestSaveFaultSweep(t *testing.T) {
 	}
 }
 
+// buildMultiBlockRelation builds a relation whose measure columns span
+// several v2 value blocks with different encodings: edge 1 is constant
+// (run-length blocks), edge 2 monotonic (XOR-delta blocks).
+func buildMultiBlockRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := NewRelation(0)
+	for i := 0; i < 2*BlockValues+17; i++ {
+		rec := r.NewRecord()
+		r.SetEdgeMeasure(rec, 1, 7)
+		r.SetEdgeMeasure(rec, 2, float64(1<<20+i))
+	}
+	return r
+}
+
+// TestSaveFaultSweepMultiBlock repeats the crash sweep over a relation whose
+// columns span several compressed blocks, so the sweep crosses block-payload
+// and block-index writes of the v2 layout, not just the tiny single-block
+// case. refBytes re-saves the loaded (lazily paged) relation, so each probe
+// also proves a paged load re-encodes to the exact installed bytes.
+func TestSaveFaultSweepMultiBlock(t *testing.T) {
+	oldRel := buildMultiBlockRelation(t)
+	newRel := buildMultiBlockRelation(t)
+	newRel.SetEdgeMeasure(3, 2, 42) // perturb mid-block: re-encodes edge 2's first block
+	refOld := refBytes(t, oldRel)
+	refNew := refBytes(t, newRel)
+	if bytes.Equal(refOld, refNew) {
+		t.Fatal("fixtures must differ for the sweep to mean anything")
+	}
+
+	seed := func() string {
+		dir := t.TempDir()
+		if err := oldRel.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	fault := fsio.NewFaultFS(fsio.OS())
+	fault.FailAt(0)
+	if err := newRel.SaveFS(fault, seed()); err != nil {
+		t.Fatal(err)
+	}
+	total := fault.Ops()
+
+	fault.SetTornWrites(true) // the harsher mode; the plain mode is TestSaveFaultSweep's
+	var sawOld, sawNew bool
+	for k := int64(1); k <= total; k++ {
+		dir := seed()
+		fault.FailAt(k)
+		saveErr := newRel.SaveFS(fault, dir)
+		opLog := fault.OpLog()
+		fault.FailAt(0)
+		if saveErr == nil {
+			t.Fatalf("k=%d: injected fault did not surface from Save", k)
+		}
+		got, err := Load(dir)
+		if err != nil {
+			t.Fatalf("k=%d: Load after crashed save failed: %v\nops:\n%s",
+				k, err, strings.Join(opLog, "\n"))
+		}
+		switch b := refBytes(t, got); {
+		case bytes.Equal(b, refOld):
+			sawOld = true
+		case bytes.Equal(b, refNew):
+			sawNew = true
+		default:
+			t.Fatalf("k=%d: Load yielded a state that is neither old nor new\nops:\n%s",
+				k, strings.Join(opLog, "\n"))
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("sweep did not cross the commit point (old=%v new=%v)", sawOld, sawNew)
+	}
+}
+
 // TestLoadFallbackRecovery corrupts the installed generation and asserts
 // Load falls back to the previous one, counting the recovery.
 func TestLoadFallbackRecovery(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 
 	"grove/internal/agg"
 	"grove/internal/bitmap"
+	"grove/internal/pagepool"
 )
 
 // EdgeID identifies a structural element (edge or node — a node X is the
@@ -94,6 +95,15 @@ type Relation struct {
 	// means no pin. Atomic so the coordinator can repoint it without holding
 	// saveMu.
 	gcProtect atomic.Pointer[string]
+
+	// pagePool caches decoded measure blocks of paged (v2-snapshot) columns;
+	// nil for a purely in-memory relation. pageSrcs are the snapshot files
+	// those blocks fault in from, and srcGen names the generation holding
+	// them — snapshot GC must never collect it while this relation is alive,
+	// or lazy reads would dangle.
+	pagePool *pagepool.Pool
+	pageSrcs []*pageSource
+	srcGen   atomic.Pointer[string]
 }
 
 // DefaultSnapshotKeep is how many snapshot generations Save retains on
@@ -134,6 +144,127 @@ func (r *Relation) gcProtectName() string {
 		return *p
 	}
 	return ""
+}
+
+// DefaultPageCacheBytes is the buffer-pool budget a loaded relation starts
+// with: 256 MiB of decoded measure blocks.
+const DefaultPageCacheBytes = 1 << 28
+
+// SetPageCacheBytes sets the buffer-pool budget for paged measure blocks
+// (≤0 = unbounded). A no-op for purely in-memory relations, which have no
+// pool; shrinking evicts immediately.
+func (r *Relation) SetPageCacheBytes(n int64) {
+	if r.pagePool != nil {
+		r.pagePool.SetBudget(n)
+	}
+}
+
+// PagePoolStats returns the buffer pool's counters (zero value when the
+// relation has no paged columns).
+func (r *Relation) PagePoolStats() pagepool.Stats {
+	if r.pagePool == nil {
+		return pagepool.Stats{}
+	}
+	return r.pagePool.Stats()
+}
+
+// PageError returns the first sticky page-fault error of the relation's
+// snapshot sources, if lazy block loading has failed. Query layers check it
+// after scans over paged columns: a fault mid-scan yields zeros in place of
+// the unreadable values, and this is how that surfaces.
+func (r *Relation) PageError() error {
+	for _, s := range r.pageSrcs {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the relation's cached snapshot file handles. Paged columns
+// that have not been materialized cannot fault blocks in afterwards; Close
+// is for shutdown, not for returning the relation to in-memory use.
+func (r *Relation) Close() error {
+	var first error
+	for _, s := range r.pageSrcs {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// setSourceGen records the generation this relation lazily pages from; GC
+// in SaveFSGen keeps it on disk for the relation's lifetime.
+func (r *Relation) setSourceGen(gen string) {
+	if gen == "" {
+		r.srcGen.Store(nil)
+		return
+	}
+	r.srcGen.Store(&gen)
+}
+
+func (r *Relation) sourceGenName() string {
+	if p := r.srcGen.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// StorageStats describes where a relation's measure bytes live: the logical
+// (decoded) size the cost model charges, the encoded on-disk size of paged
+// columns, what is actually resident in memory, and the per-encoding block
+// mix. Pool carries the buffer pool's hit/miss/eviction counters.
+type StorageStats struct {
+	LogicalBytes    int64 // decoded payload size of all measure columns
+	OnDiskBytes     int64 // encoded block payload bytes of paged columns
+	ResidentBytes   int64 // resident column values + block indexes + pooled blocks
+	PagedColumns    int
+	ResidentColumns int
+	BlockEncodings  [numEncodings]int64 // block count per encoding tag
+	Pool            pagepool.Stats
+}
+
+// BlockEncodingName names slot i of StorageStats.BlockEncodings.
+func BlockEncodingName(i int) string { return EncodingName(i) }
+
+// NumBlockEncodings is the number of block encoding tags.
+const NumBlockEncodings = numEncodings
+
+// StorageStats reports the relation's storage residency snapshot.
+func (r *Relation) StorageStats() StorageStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var st StorageStats
+	add := func(m *MeasureColumn) {
+		st.LogicalBytes += int64(m.SizeBytes())
+		st.OnDiskBytes += m.EncodedValueBytes()
+		st.ResidentBytes += m.ResidentValueBytes()
+		if m.isPaged() {
+			st.PagedColumns++
+			for i, n := range m.BlockEncodings() {
+				st.BlockEncodings[i] += int64(n)
+			}
+		} else {
+			st.ResidentColumns++
+		}
+	}
+	for _, m := range r.measures {
+		add(m)
+	}
+	for _, cols := range r.named {
+		for _, m := range cols {
+			add(m)
+		}
+	}
+	for _, v := range r.aggViews {
+		add(v.Measure)
+	}
+	if r.pagePool != nil {
+		st.Pool = r.pagePool.Stats()
+		st.ResidentBytes += st.Pool.ResidentBytes
+	}
+	return st
 }
 
 // NewRelation creates an empty master relation with the given vertical
@@ -195,7 +326,7 @@ func (r *Relation) SetEdge(rec uint32, edge EdgeID) {
 // SetEdgeMeasure marks record rec as containing edge with default-measure
 // value v.
 func (r *Relation) SetEdgeMeasure(rec uint32, edge EdgeID, v float64) {
-	r.mu.Lock()
+	r.mu.Lock() //grovevet:ignore lockorder the first Set on a paged column faults its blocks in to materialize it; that one-time I/O must happen under the write lock or a reader could see a half-materialized column
 	defer r.mu.Unlock()
 	r.setEdgeMeasureLocked(rec, edge, v)
 }
@@ -214,7 +345,7 @@ func (r *Relation) setEdgeMeasureLocked(rec uint32, edge EdgeID, v float64) {
 // SetEdgeMeasureNamed marks record rec as containing edge with a value in
 // the named measure column m_edge^name ("" = default measure).
 func (r *Relation) SetEdgeMeasureNamed(rec uint32, edge EdgeID, name string, v float64) {
-	r.mu.Lock()
+	r.mu.Lock() //grovevet:ignore lockorder the first Set on a paged column faults its blocks in to materialize it; that one-time I/O must happen under the write lock or a reader could see a half-materialized column
 	defer r.mu.Unlock()
 	if name == "" {
 		r.setEdgeMeasureLocked(rec, edge, v)
@@ -577,7 +708,7 @@ func (r *Relation) pathMeasures(rec uint32, path []EdgeID, measureName string, v
 // re-bound are skipped (Load rejects unknown function names, so this cannot
 // happen for stores grove wrote itself).
 func (r *Relation) UpdateViewsForRecord(rec uint32) {
-	r.mu.Lock()
+	r.mu.Lock() //grovevet:ignore lockorder aggregate-view maintenance reads the record's measures, which may fault paged blocks in; views must be updated under the same write lock as the row they reflect
 	defer r.mu.Unlock()
 	r.bumpVersion()
 	for _, v := range r.views {

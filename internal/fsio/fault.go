@@ -175,6 +175,10 @@ type faultFile struct {
 
 func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
 
+// ReadAt passes through uncounted, like Read: lazy block loads are reads and
+// do not advance the fault model's disk-op sequence.
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
 func (f *faultFile) Write(p []byte) (int, error) {
 	if fail, torn := f.fs.step("write %s (%d bytes)", f.name, len(p)); fail {
 		if torn && len(p) > 1 {

@@ -25,6 +25,10 @@ import (
 type File interface {
 	io.Reader
 	io.Writer
+	// ReadAt reads len(p) bytes from the given absolute offset without
+	// moving the sequential read cursor (io.ReaderAt semantics). The paged
+	// column store uses it for lazy block loads from snapshot files.
+	ReadAt(p []byte, off int64) (int, error)
 	// Sync flushes the file's content to stable storage (fsync).
 	Sync() error
 	Close() error

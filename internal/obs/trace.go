@@ -26,6 +26,7 @@ const (
 	PhaseAggregate   = "aggregate"    // per-record folding
 	PhaseCache       = "cache"        // answer served from the result cache
 	PhaseCancelled   = "cancelled"    // query abandoned on context cancellation
+	PhaseBlockSkip   = "block-skip"   // zone-map block skipping on a paged measure scan
 
 	// Coordinator phases of a scatter-gathered query (DESIGN.md §8, §12).
 	PhaseFanOut    = "fan-out"    // shard sub-queries dispatched and awaited

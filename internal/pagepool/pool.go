@@ -1,0 +1,186 @@
+// Package pagepool implements the buffer pool that backs paged measure
+// columns: a byte-budgeted cache of decoded value blocks with clock (second
+// chance) eviction. The pool holds decoded []float64 blocks keyed by
+// (column token, block index); colstore pages blocks in through it so the
+// resident working set stays under a configurable budget regardless of how
+// much data sits on disk.
+//
+// Safety model: eviction only drops the pool's reference to a block — the
+// slice itself is never reused or cleared, so a reader that obtained a block
+// just before eviction keeps a valid (immutable) snapshot and the garbage
+// collector reclaims the memory once the last reader drops it. Blocks are
+// written once by the loader before Put and never mutated afterwards.
+package pagepool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decoded block: Col is a process-unique column token
+// (columns from different snapshot generations get different tokens, so stale
+// blocks can never be served after a reload) and Block is the block index
+// within the column.
+type Key struct {
+	Col   uint64
+	Block uint32
+}
+
+// frame is one cached block plus its clock reference bit.
+type frame struct {
+	key  Key
+	vals []float64
+	ref  bool
+}
+
+// Pool is a clock-eviction buffer pool over decoded measure blocks. The
+// zero value is not usable; call New.
+type Pool struct {
+	mu       sync.Mutex
+	budget   int64       // resident-byte budget; <=0 disables eviction (unbounded)
+	resident int64       // bytes currently held (8 bytes per cached value)
+	frames   map[Key]int // key -> index into ring
+	ring     []frame
+	hand     int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a pool with the given resident-byte budget. A budget <= 0
+// means unbounded (nothing is ever evicted).
+func New(budgetBytes int64) *Pool {
+	return &Pool{budget: budgetBytes, frames: make(map[Key]int)}
+}
+
+// SetBudget changes the resident-byte budget and immediately evicts down to
+// it if the pool is over.
+func (p *Pool) SetBudget(budgetBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.budget = budgetBytes
+	p.evictLocked()
+}
+
+// Budget returns the current resident-byte budget.
+func (p *Pool) Budget() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budget
+}
+
+// Get returns the cached block for key, or nil on a miss. A hit sets the
+// frame's reference bit, granting it a second chance on the clock sweep.
+func (p *Pool) Get(key Key) []float64 {
+	p.mu.Lock()
+	if i, ok := p.frames[key]; ok {
+		p.ring[i].ref = true
+		vals := p.ring[i].vals
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return vals
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return nil
+}
+
+// Put inserts a freshly decoded block and evicts down to budget. If the key
+// is already cached (two readers raced on the same miss) the existing block
+// wins so all readers share one slice.
+func (p *Pool) Put(key Key, vals []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.frames[key]; ok {
+		p.ring[i].ref = true
+		return p.ring[i].vals
+	}
+	p.frames[key] = len(p.ring)
+	p.ring = append(p.ring, frame{key: key, vals: vals, ref: true})
+	p.resident += 8 * int64(len(vals))
+	p.evictLocked()
+	return vals
+}
+
+// evictLocked runs the clock sweep until the pool fits its budget. At least
+// one frame is always left resident so the block being inserted can be used.
+// Termination: every sweep step either clears a ref bit or evicts a frame,
+// and ref bits are only set outside the sweep, so the sweep clears at most
+// len(ring) bits before it must evict.
+func (p *Pool) evictLocked() {
+	if p.budget <= 0 {
+		return
+	}
+	for p.resident > p.budget && len(p.ring) > 1 {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		f := &p.ring[p.hand]
+		if f.ref {
+			f.ref = false
+			p.hand++
+			continue
+		}
+		p.evictAtLocked(p.hand)
+	}
+}
+
+// evictAtLocked removes ring[i] by swapping the last frame into its slot.
+func (p *Pool) evictAtLocked(i int) {
+	f := p.ring[i]
+	delete(p.frames, f.key)
+	p.resident -= 8 * int64(len(f.vals))
+	last := len(p.ring) - 1
+	if i != last {
+		p.ring[i] = p.ring[last]
+		p.frames[p.ring[i].key] = i
+	}
+	p.ring[last] = frame{} // release the slice reference
+	p.ring = p.ring[:last]
+	if p.hand > last {
+		p.hand = 0
+	}
+	p.evictions.Add(1)
+}
+
+// InvalidateColumn drops every cached block of the given column token. Used
+// when a paged column is materialized for writes or its relation is reloaded.
+func (p *Pool) InvalidateColumn(col uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < len(p.ring); {
+		if p.ring[i].key.Col == col {
+			p.evictAtLocked(i)
+			continue // the swapped-in frame now sits at i
+		}
+		i++
+	}
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	ResidentBlocks int
+	ResidentBytes  int64
+	BudgetBytes    int64
+}
+
+// Stats returns a consistent snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	blocks := len(p.ring)
+	bytes := p.resident
+	budget := p.budget
+	p.mu.Unlock()
+	return Stats{
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Evictions:      p.evictions.Load(),
+		ResidentBlocks: blocks,
+		ResidentBytes:  bytes,
+		BudgetBytes:    budget,
+	}
+}

@@ -1,0 +1,185 @@
+package pagepool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func block(n int, fill float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = fill
+	}
+	return v
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	p := New(1 << 20)
+	k := Key{Col: 1, Block: 0}
+	if got := p.Get(k); got != nil {
+		t.Fatalf("expected miss, got %v", got)
+	}
+	want := block(16, 3.5)
+	p.Put(k, want)
+	got := p.Get(k)
+	if got == nil || &got[0] != &want[0] {
+		t.Fatalf("expected the cached slice back")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+}
+
+func TestPutDuplicateKeepsFirst(t *testing.T) {
+	p := New(1 << 20)
+	k := Key{Col: 7, Block: 3}
+	a := block(8, 1)
+	b := block(8, 2)
+	p.Put(k, a)
+	got := p.Put(k, b)
+	if &got[0] != &a[0] {
+		t.Fatalf("duplicate Put must return the already-cached slice")
+	}
+	if s := p.Stats(); s.ResidentBlocks != 1 {
+		t.Fatalf("resident blocks = %d, want 1", s.ResidentBlocks)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	// Budget fits exactly two 128-value blocks (1024 bytes each).
+	p := New(2048)
+	for i := uint32(0); i < 10; i++ {
+		p.Put(Key{Col: 1, Block: i}, block(128, float64(i)))
+	}
+	s := p.Stats()
+	if s.ResidentBytes > 2048 {
+		t.Fatalf("resident %d bytes over budget 2048", s.ResidentBytes)
+	}
+	if s.ResidentBlocks == 0 {
+		t.Fatalf("pool must keep at least one block")
+	}
+	if s.Evictions != 8 {
+		t.Fatalf("evictions = %d, want 8", s.Evictions)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	// Three-block budget. Freshly inserted frames all carry reference bits,
+	// so the very first sweep degenerates to FIFO — run one warm-up Put to
+	// clear them, then keep re-referencing one hot block: the clock must
+	// spare it on every later sweep while the cold blocks rotate out.
+	p := New(3 * 128 * 8)
+	hot := Key{Col: 1, Block: 1}
+	p.Put(Key{Col: 1, Block: 0}, block(128, 0))
+	p.Put(hot, block(128, 1))
+	p.Put(Key{Col: 1, Block: 2}, block(128, 2))
+	p.Put(Key{Col: 2, Block: 0}, block(128, 9)) // warm-up sweep
+	if p.Get(hot) == nil {
+		t.Fatalf("hot block lost in warm-up; it was not first in FIFO order")
+	}
+	for n := uint32(1); n < 5; n++ {
+		p.Put(Key{Col: 2, Block: n}, block(128, 9))
+		if p.Get(hot) == nil {
+			t.Fatalf("hot block was evicted despite reference bit (round %d)", n)
+		}
+	}
+}
+
+func TestSetBudgetShrinks(t *testing.T) {
+	p := New(0) // unbounded
+	for i := uint32(0); i < 8; i++ {
+		p.Put(Key{Col: 1, Block: i}, block(128, 0))
+	}
+	if s := p.Stats(); s.ResidentBlocks != 8 {
+		t.Fatalf("unbounded pool evicted: %d blocks", s.ResidentBlocks)
+	}
+	p.SetBudget(2 * 128 * 8)
+	if s := p.Stats(); s.ResidentBytes > 2*128*8 {
+		t.Fatalf("SetBudget did not evict down: %d bytes", s.ResidentBytes)
+	}
+}
+
+func TestInvalidateColumn(t *testing.T) {
+	p := New(0)
+	for i := uint32(0); i < 4; i++ {
+		p.Put(Key{Col: 1, Block: i}, block(8, 0))
+		p.Put(Key{Col: 2, Block: i}, block(8, 0))
+	}
+	p.InvalidateColumn(1)
+	for i := uint32(0); i < 4; i++ {
+		if p.Get(Key{Col: 1, Block: i}) != nil {
+			t.Fatalf("col 1 block %d survived invalidation", i)
+		}
+		if p.Get(Key{Col: 2, Block: i}) == nil {
+			t.Fatalf("col 2 block %d was wrongly dropped", i)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(64 * 128 * 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Col: uint64(g % 3), Block: uint32(i % 200)}
+				if v := p.Get(k); v == nil {
+					p.Put(k, block(128, float64(i)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.ResidentBytes > 64*128*8 {
+		t.Fatalf("over budget after concurrent load: %d", s.ResidentBytes)
+	}
+}
+
+func TestEvictionNeverMutatesHandedOutBlocks(t *testing.T) {
+	p := New(128 * 8) // single-block budget
+	k0 := Key{Col: 1, Block: 0}
+	held := p.Put(k0, block(128, 42))
+	// Force k0 out.
+	for i := uint32(1); i < 5; i++ {
+		p.Put(Key{Col: 1, Block: i}, block(128, 0))
+	}
+	if p.Get(k0) != nil {
+		t.Fatalf("k0 should be evicted under a one-block budget")
+	}
+	for i, v := range held {
+		if v != 42 {
+			t.Fatalf("held[%d] = %v after eviction; evicted blocks must stay intact", i, v)
+		}
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	p := New(1 << 24)
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = Key{Col: 1, Block: uint32(i)}
+		p.Put(keys[i], block(4096, float64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Get(keys[i%len(keys)]) == nil {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func ExamplePool() {
+	p := New(1 << 20)
+	k := Key{Col: 1, Block: 0}
+	if p.Get(k) == nil {
+		p.Put(k, []float64{1, 2, 3})
+	}
+	fmt.Println(len(p.Get(k)))
+	// Output: 3
+}

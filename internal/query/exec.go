@@ -382,7 +382,7 @@ func (r *Result) FetchMeasures() int64 {
 		return 0 // nothing qualified; no measure columns are read
 	}
 	e := r.eng
-	e.Rel.BeginRead()
+	e.Rel.BeginRead() //grovevet:ignore lockorder paged measure scans fault value blocks from disk under the read lock by design: readers proceed concurrently, and the scan must see the same cut the filter matched
 	defer e.Rel.EndRead()
 	elems := r.Query.G.Elements()
 	scratch := recsPool.Get().(*[]uint32)
@@ -800,8 +800,15 @@ func (e *Engine) executePathAggQuery(ctx context.Context, q *PathAggQuery, tr *o
 	}
 	// One read lock spans the structural filter and the measure scans, so
 	// the aggregates are computed over exactly the records the filter saw.
-	e.Rel.BeginRead()
+	e.Rel.BeginRead() //grovevet:ignore lockorder paged measure scans fault value blocks from disk under the read lock by design: readers proceed concurrently, and the aggregate must fold the same cut the filter matched
 	defer e.Rel.EndRead()
+	return e.executePathAggLocked(ctx, q, tr)
+}
+
+// executePathAggLocked is the path-aggregation body with the relation read
+// lock already held (the scalar executor routes its general fallback through
+// here under its own lock — BeginRead is not reentrant).
+func (e *Engine) executePathAggLocked(ctx context.Context, q *PathAggQuery, tr *obs.ActiveTrace) (*AggResult, error) {
 	structural, err := e.executeGraphQueryLocked(ctx, &GraphQuery{G: q.G}, tr)
 	if err != nil {
 		return nil, err
@@ -987,5 +994,239 @@ func (e *Engine) executePathAggQuery(ctx context.Context, q *PathAggQuery, tr *o
 		spanEdges = append(spanEdges, id)
 	}
 	e.Rel.JoinPartitions(e.Rel.PartitionSpan(spanEdges), answer)
+	if err := e.Rel.PageError(); err != nil {
+		// A paged column's block fault failed mid-scan. The gathered values
+		// contain zeros standing in for unread data, so the whole answer is
+		// suspect — fail the query instead of returning silently wrong folds.
+		return nil, err
+	}
 	return res, nil
+}
+
+// --- scalar path aggregation --------------------------------------------------
+
+// ScalarAggResult is the answer of ExecutePathAggScalar: one aggregate value
+// folded across every answer record and every maximal path, rather than the
+// per-record × per-path matrix of AggResult.
+type ScalarAggResult struct {
+	Query *PathAggQuery
+	// Value is Fold applied over every non-NULL per-record path aggregate, in
+	// record order; NaN when no record contributed (empty answer, or every
+	// record folded to NULL).
+	Value float64
+	// Records is the structural answer cardinality.
+	Records int
+	// Folded is how many values entered the scalar fold: measure values
+	// examined by the zone-skipping scan, or non-NULL per-record aggregates
+	// when the general row plan answered the query.
+	Folded int
+	// BlocksScanned and BlocksSkipped count paged storage blocks that were
+	// decoded and folded vs. proven irrelevant by their zone maps. Both are 0
+	// when the general row plan answered the query.
+	BlocksScanned int
+	BlocksSkipped int
+	// ZoneSkipped reports whether the zone-skipping scalar plan ran. False
+	// means the query was ineligible (not MIN/MAX, multi-segment paths, or
+	// node measures) and the general per-record plan computed the answer.
+	ZoneSkipped bool
+}
+
+// ExecutePathAggScalar evaluates a path aggregation and folds it all the way
+// down to one scalar: Fold across the per-record path aggregates of every
+// answer record. For MIN/MAX queries whose maximal paths each cover to a
+// single segment (one raw edge, or one aggregate view spanning the whole
+// path) and that touch no node measures, it runs a zone-skipping scan:
+// per-block zone maps prove most blocks cannot tighten the accumulator and
+// those blocks are never decoded — or even read from disk on a paged store.
+// Every other query falls back to the general per-record plan and folds its
+// result, so the scalar answer is always exactly Fold over
+// AggResult.FoldAcrossPaths() in record order, bit for bit.
+func (e *Engine) ExecutePathAggScalar(q *PathAggQuery) (*ScalarAggResult, error) {
+	return e.ExecutePathAggScalarContext(context.Background(), q)
+}
+
+// ExecutePathAggScalarContext is ExecutePathAggScalar with cancellation,
+// checked between bitmap fetches of the structural phase.
+func (e *Engine) ExecutePathAggScalarContext(ctx context.Context, q *PathAggQuery) (*ScalarAggResult, error) {
+	var start time.Time
+	if e.metrics != nil || e.slow != nil {
+		start = time.Now()
+	}
+	var slowIO obs.IODelta
+	if e.slow != nil {
+		slowIO = e.ioNow()
+	}
+	var tr *obs.ActiveTrace
+	if e.traces != nil {
+		tr = obs.StartTrace(obs.KindPathAgg, q.String(), e.ioNow())
+		tr.SetShard(e.shardID)
+	}
+	res, err := e.executePathAggScalar(ctx, q, tr)
+	if tr != nil {
+		e.traces.Add(tr.Finish(e.ioNow()))
+	}
+	if e.metrics != nil && err == nil {
+		e.metrics.Record(obs.KindPathAgg, time.Since(start))
+	}
+	if e.slow != nil {
+		e.slowObserve(obs.KindPathAgg, q.String(), start, slowIO, false, err)
+	}
+	return res, err
+}
+
+func (e *Engine) executePathAggScalar(ctx context.Context, q *PathAggQuery, tr *obs.ActiveTrace) (*ScalarAggResult, error) {
+	if q == nil || q.G == nil || q.G.NumElements() == 0 {
+		return nil, fmt.Errorf("query: empty path aggregation query")
+	}
+	if q.Agg.Fold == nil || q.Agg.Lift == nil {
+		return nil, fmt.Errorf("query: aggregation function not set")
+	}
+	e.Rel.BeginRead() //grovevet:ignore lockorder paged measure scans fault value blocks from disk under the read lock by design: readers proceed concurrently, and the aggregate must fold the same cut the filter matched
+	defer e.Rel.EndRead()
+	paths := q.Paths
+	if len(paths) == 0 {
+		if tr != nil {
+			tr.Begin(obs.PhasePlan, e.ioNow())
+		}
+		var err error
+		paths, err = gpath.MaximalPaths(q.G)
+		if err != nil {
+			return nil, err
+		}
+	}
+	isMin := q.Agg.Name == agg.Min.Name
+
+	// Eligibility for the zone-skipping plan: the fold must be MIN or MAX
+	// (only those have a "cannot tighten the accumulator" proof from a
+	// [min,max] zone), every path must cover to exactly one segment (a
+	// multi-segment path folds per record, where one missing segment NULLs
+	// the whole record — a property no single column's zones can express),
+	// and no path may carry node measures (they enter per-record folds as
+	// optional operands, same problem). Decided before any column is fetched,
+	// so an ineligible query pays nothing extra on its way to the row plan.
+	eligible := isMin || q.Agg.Name == agg.Max.Name
+	var plans []pathSegment // the single segment of each path, in path order
+	if eligible {
+		unknown := make(map[graph.EdgeKey]colstore.EdgeID)
+	plan:
+		for _, p := range paths {
+			for _, nk := range p.MeasuredNodes() {
+				if id, ok := e.Reg.Lookup(graph.NodeKey(nk)); ok && e.Rel.MeasureColumn(id) != nil {
+					eligible = false
+					break plan
+				}
+			}
+			ids := make([]colstore.EdgeID, 0, p.Len())
+			for _, ek := range p.Edges() {
+				id, ok := e.Reg.Lookup(ek)
+				if !ok {
+					id, ok = unknown[ek]
+					if !ok {
+						id = colstore.EdgeID(uint32(e.Reg.Len()) + uint32(len(unknown)) + 1<<24)
+						unknown[ek] = id
+					}
+				}
+				ids = append(ids, id)
+			}
+			segs := coverPath(e.Rel, ids, q.Agg.Name, q.Measure, e.UseViews)
+			if len(segs) != 1 {
+				eligible = false
+				break plan
+			}
+			plans = append(plans, segs[0])
+		}
+	}
+	if !eligible {
+		res, err := e.executePathAggLocked(ctx, q, tr)
+		if err != nil {
+			return nil, err
+		}
+		out := &ScalarAggResult{Query: q, Records: len(res.RecordIDs)}
+		acc := q.Agg.Identity
+		folded := 0
+		for _, v := range res.FoldAcrossPaths() {
+			if !math.IsNaN(v) {
+				acc = q.Agg.Fold(acc, v)
+				folded++
+			}
+		}
+		if folded == 0 {
+			acc = math.NaN()
+		}
+		out.Value = acc
+		out.Folded = folded
+		return out, nil
+	}
+
+	structural, err := e.executeGraphQueryLocked(ctx, &GraphQuery{G: q.G}, tr)
+	if err != nil {
+		return nil, err
+	}
+	// Fetch the one column of each path (nil when the segment's column does
+	// not exist: every record then folds to NULL on that path and it
+	// contributes nothing to the scalar).
+	if tr != nil {
+		tr.Begin(obs.PhaseMeasureScan, e.ioNow())
+	}
+	cols := make([]*colstore.MeasureColumn, 0, len(plans))
+	var spanEdges []colstore.EdgeID
+	fetched := make(map[colstore.EdgeID]*colstore.MeasureColumn)
+	fetchedViews := make(map[string]*colstore.MeasureColumn)
+	for _, s := range plans {
+		var col *colstore.MeasureColumn
+		if s.ViewName != "" {
+			c, ok := fetchedViews[s.ViewName]
+			if !ok {
+				var err error
+				c, err = e.Rel.FetchAggViewMeasure(s.ViewName)
+				if err != nil {
+					return nil, err
+				}
+				fetchedViews[s.ViewName] = c
+			}
+			col = c
+		} else {
+			c, ok := fetched[s.Edge]
+			if !ok {
+				c = e.Rel.FetchMeasureColumnNamed(s.Edge, q.Measure)
+				fetched[s.Edge] = c
+				if c != nil {
+					spanEdges = append(spanEdges, s.Edge)
+				}
+			}
+			col = c
+		}
+		cols = append(cols, col)
+	}
+
+	answer := structural.Answer
+	out := &ScalarAggResult{Query: q, Records: answer.Cardinality(), ZoneSkipped: true}
+	if tr != nil {
+		tr.Begin(obs.PhaseBlockSkip, e.ioNow())
+	}
+	scratch := recsPool.Get().(*[]uint32)
+	recs := answer.AppendInto((*scratch)[:0])
+	acc := q.Agg.Identity
+	for _, col := range cols {
+		if col == nil {
+			continue
+		}
+		a, f, s, sk := col.AggregateSkip(recs, acc, isMin)
+		acc = a
+		out.Folded += f
+		out.BlocksScanned += s
+		out.BlocksSkipped += sk
+	}
+	*scratch = recs[:0]
+	recsPool.Put(scratch)
+	if out.Folded == 0 {
+		acc = math.NaN()
+	}
+	out.Value = acc
+	e.Rel.AccountMeasuresScanned(out.Folded)
+	e.Rel.JoinPartitions(e.Rel.PartitionSpan(spanEdges), answer)
+	if err := e.Rel.PageError(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -3,7 +3,9 @@ package query
 import (
 	"testing"
 
+	"grove/internal/colstore"
 	"grove/internal/gpath"
+	"grove/internal/graph"
 )
 
 // The PathAgg benchmarks size the vectorized measure path: a 5-edge chain
@@ -54,6 +56,65 @@ func benchmarkPathAggMultiPath(b *testing.B, parallel bool) {
 
 func BenchmarkPathAggMultiPathSequential(b *testing.B) { benchmarkPathAggMultiPath(b, false) }
 func BenchmarkPathAggMultiPathParallel(b *testing.B)   { benchmarkPathAggMultiPath(b, true) }
+
+// The PathAggScalar benchmarks compare the two ways to a scalar MIN over one
+// edge of a *paged* (saved-and-reloaded) store: the row plan (per-record
+// aggregates, then fold — which must decode every value block) against the
+// zone-skipping scalar plan (which proves most blocks irrelevant from their
+// zone maps and never decodes them).
+func benchmarkPathAggScalar(b *testing.B, zoneSkip bool) {
+	f, nodes := pathChainFixture(b, 50000, 1.0)
+	// Monotonic measures on the benchmarked edge: only the first block can
+	// hold the minimum, so the zone maps prove the rest skippable — the
+	// selective-scan regime the plan targets.
+	ab, ok := f.reg.Lookup(graph.E(nodes[0], nodes[1]))
+	if !ok {
+		b.Fatal("fixture lost its first edge")
+	}
+	for rec := uint32(0); rec < uint32(f.rel.NumRecords()); rec++ {
+		f.rel.SetEdgeMeasure(rec, ab, float64(1<<20)+float64(rec))
+	}
+	dir := b.TempDir()
+	if err := f.rel.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	rel, err := colstore.Load(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rel.Close()
+	// A tight budget keeps the column cold, so each run pays the decode cost
+	// its plan actually incurs — the regime paging exists for.
+	rel.SetPageCacheBytes(1 << 14)
+	eng := NewEngine(rel, f.reg)
+	q := NewPathAggQueryAlong(gpath.Closed(nodes[0], nodes[1]), Min, "")
+	run := func() {
+		if zoneSkip {
+			res, err := eng.ExecutePathAggScalar(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.ZoneSkipped {
+				b.Fatal("scalar plan did not engage")
+			}
+		} else {
+			res, err := eng.ExecutePathAggQuery(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.FoldAcrossPaths()
+		}
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkPathAggScalarMinRows(b *testing.B)     { benchmarkPathAggScalar(b, false) }
+func BenchmarkPathAggScalarMinZoneSkip(b *testing.B) { benchmarkPathAggScalar(b, true) }
 
 // BenchmarkPathAggFetchMeasures times the graph-query measure phase (the
 // fused AggregateInto scan) over a fixed structural answer.

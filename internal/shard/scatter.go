@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"grove/internal/agg"
 	"grove/internal/bitmap"
 	"grove/internal/obs"
 	"grove/internal/query"
@@ -407,6 +409,77 @@ func (c *Coordinator) aggregateScattered(ctx context.Context, kind, qstr string,
 			return eng.ExecutePathAggQueryContext(ctx, q)
 		},
 		func(subs []*query.AggResult) *query.AggResult { return c.mergeAgg(q, subs) })
+}
+
+// AggregateScalarContext executes a path aggregation folded all the way down
+// to one scalar across all shards. MIN/MAX queries scatter the scalar plan —
+// each shard runs its (possibly zone-skipping) scan and the shard scalars
+// merge with the query's own Fold, which is bit-identical to the global
+// record-order fold because MIN/MAX are order-independent under the kernel
+// total order. Any other function routes through the row-merging
+// AggregateContext and folds the merged rows in ascending global record
+// order, because float addition does not reassociate.
+func (c *Coordinator) AggregateScalarContext(ctx context.Context, q *query.PathAggQuery) (*query.ScalarAggResult, error) {
+	if len(c.units) == 1 {
+		u := c.units[0]
+		u.pending.Add(1)
+		defer u.pending.Add(-1)
+		return u.Eng.ExecutePathAggScalarContext(ctx, q)
+	}
+	if q != nil && (q.Agg.Name == agg.Min.Name || q.Agg.Name == agg.Max.Name) {
+		return runScattered(ctx, c, obs.KindPathAgg, c.queryName(q),
+			func(ctx context.Context, eng *query.Engine, u *Unit) (*query.ScalarAggResult, error) {
+				return eng.ExecutePathAggScalarContext(ctx, q)
+			},
+			func(subs []*query.ScalarAggResult) *query.ScalarAggResult { return mergeScalar(q, subs) })
+	}
+	res, err := c.AggregateContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := &query.ScalarAggResult{Query: q, Records: len(res.RecordIDs)}
+	acc := q.Agg.Identity
+	folded := 0
+	for _, v := range res.FoldAcrossPaths() {
+		if !math.IsNaN(v) {
+			acc = q.Agg.Fold(acc, v)
+			folded++
+		}
+	}
+	if folded == 0 {
+		acc = math.NaN()
+	}
+	out.Value = acc
+	out.Folded = folded
+	return out, nil
+}
+
+// mergeScalar combines per-shard scalar aggregates of a MIN/MAX query in
+// shard order. Each shard's Value is the total-order extremum of its local
+// contributions, so folding the shard values yields the extremum of the whole
+// multiset — independent of shard count and order, bit for bit (including
+// signed zero). Shards with nothing to contribute report NaN and are skipped,
+// exactly like NULL records in the single-shard fold.
+func mergeScalar(q *query.PathAggQuery, subs []*query.ScalarAggResult) *query.ScalarAggResult {
+	out := &query.ScalarAggResult{Query: q, ZoneSkipped: true}
+	acc := q.Agg.Identity
+	any := false
+	for _, s := range subs {
+		out.Records += s.Records
+		out.Folded += s.Folded
+		out.BlocksScanned += s.BlocksScanned
+		out.BlocksSkipped += s.BlocksSkipped
+		out.ZoneSkipped = out.ZoneSkipped && s.ZoneSkipped
+		if !math.IsNaN(s.Value) {
+			acc = q.Agg.Fold(acc, s.Value)
+			any = true
+		}
+	}
+	if !any {
+		acc = math.NaN()
+	}
+	out.Value = acc
+	return out
 }
 
 // --- statements --------------------------------------------------------------

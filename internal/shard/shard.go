@@ -489,6 +489,70 @@ func (c *Coordinator) ViewSizeBytes() int64 {
 	return total
 }
 
+// StorageStats sums the shard storage-residency snapshots: logical vs.
+// on-disk vs. resident bytes, the per-encoding block mix, and the pooled
+// buffer counters.
+func (c *Coordinator) StorageStats() colstore.StorageStats {
+	var total colstore.StorageStats
+	for _, u := range c.units {
+		st := u.Rel.StorageStats()
+		total.LogicalBytes += st.LogicalBytes
+		total.OnDiskBytes += st.OnDiskBytes
+		total.ResidentBytes += st.ResidentBytes
+		total.PagedColumns += st.PagedColumns
+		total.ResidentColumns += st.ResidentColumns
+		for i := range total.BlockEncodings {
+			total.BlockEncodings[i] += st.BlockEncodings[i]
+		}
+		total.Pool.Hits += st.Pool.Hits
+		total.Pool.Misses += st.Pool.Misses
+		total.Pool.Evictions += st.Pool.Evictions
+		total.Pool.ResidentBlocks += st.Pool.ResidentBlocks
+		total.Pool.ResidentBytes += st.Pool.ResidentBytes
+		total.Pool.BudgetBytes += st.Pool.BudgetBytes
+	}
+	return total
+}
+
+// SetPageCacheBytes splits a total buffer-pool budget evenly across the
+// shards' pools (≤0 = unbounded everywhere). No-op on shards with no paged
+// columns.
+func (c *Coordinator) SetPageCacheBytes(n int64) {
+	per := n
+	if n > 0 {
+		per = n / int64(len(c.units))
+		if per < 1 {
+			per = 1
+		}
+	}
+	for _, u := range c.units {
+		u.Rel.SetPageCacheBytes(per)
+	}
+}
+
+// PageError returns the first sticky page-fault error across the shards, if
+// any lazy block load has failed.
+func (c *Coordinator) PageError() error {
+	for _, u := range c.units {
+		if err := u.Rel.PageError(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every shard relation's cached snapshot file handles,
+// returning the first error.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, u := range c.units {
+		if err := u.Rel.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // MaxPartitions returns the widest shard's vertical-partition count (shards
 // share the schema, so the counts normally agree; max is the conservative
 // report).

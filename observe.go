@@ -79,6 +79,19 @@ const (
 	MetricScatterMerge   = "grove_scatter_merge_seconds"
 
 	MetricSlowQueries = "grove_slow_queries_total"
+
+	// Paged storage & buffer pool (DESIGN.md §13). Pool counters sum across
+	// the per-shard pools; storage gauges sum across shards.
+	MetricPagePoolHits          = "grove_pagepool_hits_total"
+	MetricPagePoolMisses        = "grove_pagepool_misses_total"
+	MetricPagePoolEvictions     = "grove_pagepool_evictions_total"
+	MetricPagePoolResidentBytes = "grove_pagepool_resident_bytes"
+	MetricPagePoolBudgetBytes   = "grove_pagepool_budget_bytes"
+	MetricBlocksSkipped         = "grove_scan_blocks_skipped_total"
+	MetricStorageLogicalBytes   = "grove_storage_logical_bytes"
+	MetricStorageOnDiskBytes    = "grove_storage_ondisk_bytes"
+	MetricStorageResidentBytes  = "grove_storage_resident_bytes"
+	MetricStorageBlocks         = "grove_storage_blocks"
 )
 
 // ioSink mirrors the column store's accounting events into registry
@@ -229,6 +242,37 @@ func (s *Store) Metrics() *MetricsRegistry {
 
 	r.CounterFunc(MetricSlowQueries, "Queries recorded in the slow-query log (including evicted entries).",
 		func() float64 { return float64(s.coord.SlowLog().Total()) })
+
+	// Paged storage & buffer pool. The counters live in the per-shard pools
+	// (summed by Coordinator.StorageStats), except blocks-skipped which is a
+	// process-wide colstore counter like persist-recoveries above.
+	r.CounterFunc(MetricPagePoolHits, "Buffer pool block faults served by a resident decoded block (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().Pool.Hits) })
+	r.CounterFunc(MetricPagePoolMisses, "Buffer pool block faults that decoded the block from the snapshot (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().Pool.Misses) })
+	r.CounterFunc(MetricPagePoolEvictions, "Decoded blocks evicted by the clock sweep (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().Pool.Evictions) })
+	r.GaugeFunc(MetricPagePoolResidentBytes, "Decoded value bytes resident in the buffer pools (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().Pool.ResidentBytes) })
+	r.GaugeFunc(MetricPagePoolBudgetBytes, "Configured buffer pool budget (all shards; 0 = unbounded).",
+		func() float64 { return float64(s.coord.StorageStats().Pool.BudgetBytes) })
+	r.CounterFunc(MetricBlocksSkipped, "Measure blocks skipped by zone-map pruning during scalar MIN/MAX scans (process-wide).",
+		func() float64 { return float64(colstore.BlocksSkipped()) })
+	r.GaugeFunc(MetricStorageLogicalBytes, "Logical measure-column bytes: what the columns represent, regardless of residency (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().LogicalBytes) })
+	r.GaugeFunc(MetricStorageOnDiskBytes, "Encoded measure-column bytes in the snapshot's block payloads (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().OnDiskBytes) })
+	r.GaugeFunc(MetricStorageResidentBytes, "Decoded measure-column bytes held in memory, paged and eager (all shards).",
+		func() float64 { return float64(s.coord.StorageStats().ResidentBytes) })
+	r.GaugeVecFunc(MetricStorageBlocks, "Measure value blocks by encoding (all shards).",
+		func() map[string]float64 {
+			st := s.coord.StorageStats()
+			out := make(map[string]float64, len(st.BlockEncodings))
+			for i, n := range st.BlockEncodings {
+				out[obs.Labels("encoding", colstore.BlockEncodingName(i))] = float64(n)
+			}
+			return out
+		})
 	return s.metrics
 }
 
