@@ -20,9 +20,11 @@
 //	grovecli -store /tmp/ny slow "SUM [n1,n2,n13]"   # run statements, dump slow-query log
 //	grovecli -store /tmp/ny recover                  # inventory snapshot generations
 //	grovecli -store /tmp/ny recover gen-000001       # force-install a generation
+//	grovecli -store /tmp/ny wal                      # inspect the write-ahead logs
 //
 // On a sharded store directory (groveload -shards N), recover lists every
-// shard's generations and marks the cut the SHARDS.json manifest pins.
+// shard's generations and marks the cut the SHARDS.json manifest pins, and
+// wal lists every shard's log.
 //
 // With -metrics ADDR, grovecli serves /metrics (Prometheus text), /traces
 // (JSON) and /debug/slow (JSONL) on ADDR after the command runs, until
@@ -57,6 +59,12 @@ func main() {
 	// store too damaged to load, so it is handled before LoadStore.
 	if flag.Arg(0) == "recover" {
 		recoverStore(*store, flag.Args()[1:])
+		return
+	}
+	// wal likewise inspects the write-ahead logs without loading (Scan never
+	// modifies them), so it works mid-crash-investigation on a damaged store.
+	if flag.Arg(0) == "wal" {
+		inspectWAL(*store)
 		return
 	}
 	st, err := grove.LoadStore(*store)
@@ -150,7 +158,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|analyze|metrics|slow|advise|views|addview|addagg|tag|recover> [args]")
+	fmt.Fprintln(os.Stderr, "usage: grovecli -store DIR <info|match|agg|avg|summary|q|explain|analyze|metrics|slow|advise|views|addview|addagg|tag|recover|wal> [args]")
 	flag.PrintDefaults()
 }
 
@@ -229,6 +237,51 @@ func recoverSharded(dir string, args []string) {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "\nLoad reconstructs the pinned cut; it ignores per-shard CURRENT pointers")
+}
+
+// inspectWAL scans the store's write-ahead log files read-only and reports
+// each one's identity (pinned generation, LSN range), contents and tail
+// health. A torn tail here is normal after a crash: Load truncates it and
+// replays the valid prefix.
+func inspectWAL(dir string) {
+	infos, err := grove.InspectWAL(dir)
+	if err != nil {
+		fatal(err)
+	}
+	for i, info := range infos {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s\n", info.Path)
+		if !info.Exists {
+			fmt.Println("  no log file (store runs without WAL, or it was never enabled)")
+			continue
+		}
+		if !info.HeaderOK {
+			fmt.Printf("  header unreadable: %s\n", info.HeaderErr)
+			fmt.Println("  replay ignores this log; the snapshot alone carries the state")
+			continue
+		}
+		fmt.Printf("  shard:      %d\n", info.Shard)
+		fmt.Printf("  generation: %s (the snapshot this log extends)\n", info.Gen)
+		fmt.Printf("  lsn range:  [%d, %d)  %d op(s)\n", info.BaseLSN, info.NextLSN, info.Ops)
+		if len(info.Kinds) > 0 {
+			var parts []string
+			for _, k := range []string{"add-record", "append-edge", "delete", "undelete", "tag"} {
+				if n := info.Kinds[k]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+				}
+			}
+			fmt.Printf("  ops:        %s\n", strings.Join(parts, " "))
+		}
+		if info.TornBytes > 0 {
+			fmt.Printf("  tail:       TORN — %d valid byte(s), %d torn (%s)\n",
+				info.GoodBytes, info.TornBytes, info.TornReason)
+			fmt.Println("              Load truncates the torn tail and replays the valid prefix")
+		} else {
+			fmt.Printf("  tail:       clean (%d bytes)\n", info.GoodBytes)
+		}
+	}
 }
 
 func fatal(err error) {

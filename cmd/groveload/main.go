@@ -8,6 +8,12 @@
 //	groveload -out /tmp/gnu -records 50000 -dataset gnu -seed 7
 //	groveload -out /tmp/prod -input traces.jsonl
 //	groveload -out /tmp/big -records 200000 -shards 8   # sharded layout
+//	groveload -out /tmp/dur -records 100000 -fsync always  # ingest through the WAL
+//
+// With -fsync POLICY (always | interval | never) the ingest runs write-ahead
+// logged under that fsync policy — every record goes through the durable
+// Append path before the final checkpoint folds the log into the snapshot —
+// exercising exactly the code path a crash-safe production ingest uses.
 package main
 
 import (
@@ -32,6 +38,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		keep    = flag.Int("keep", 0, "snapshot generations to retain on disk (0 = default)")
 		shards  = flag.Int("shards", 1, "shards to partition the store into (1 = flat single-relation layout)")
+		fsync   = flag.String("fsync", "", "write-ahead log the ingest under this fsync policy: always | interval | never (empty = no WAL)")
 	)
 	flag.Parse()
 
@@ -45,9 +52,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "groveload: -shards must be >= 1")
 		os.Exit(2)
 	}
+	walled := *fsync != ""
+	var walCfg grove.WALConfig
+	if walled {
+		pol, err := grove.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(2)
+		}
+		walCfg = grove.WALConfig{Policy: pol}
+	}
 
 	if *input != "" {
-		importTraces(*input, *out, *keep, *shards)
+		importTraces(*input, *out, *keep, *shards, walled, walCfg)
 		return
 	}
 
@@ -71,13 +88,38 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "building %s dataset: %d records, %d-edge domain, %d shard(s) ...\n",
 		spec.Name, spec.NumRecords, spec.EdgeDomain, *shards)
-	spec.KeepRecords = *shards > 1 // sharded saves reroute records through the coordinator
+	// Sharded and WAL-logged ingests reroute records through the coordinator.
+	spec.KeepRecords = *shards > 1 || walled
 	ds, err := workload.Build(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
 		os.Exit(1)
 	}
-	if *shards > 1 {
+	if walled {
+		// Durable ingest: EnableWAL bootstraps out with an empty snapshot and
+		// fresh logs, every Append is logged before it applies, and the final
+		// Save checkpoints — folding the log back into the snapshot.
+		st := grove.NewSharded(*shards)
+		st.SetSnapshotKeep(*keep)
+		if err := st.EnableWAL(*out, walCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
+		for _, rec := range ds.Records {
+			if _, err := st.Append(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "groveload:", err)
+				os.Exit(1)
+			}
+		}
+		st.Optimize()
+		ws := st.WALStats()
+		fmt.Fprintf(os.Stderr, "wal: %d appends, %d bytes, %d fsyncs (policy %s)\n",
+			ws.Appends, ws.AppendedBytes, ws.Fsyncs, ws.Policy)
+		if err := st.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
+	} else if *shards > 1 {
 		st := grove.NewSharded(*shards)
 		for _, rec := range ds.Records {
 			st.Add(rec)
@@ -125,7 +167,7 @@ func diskSize(dir string) (int64, error) {
 	return total, err
 }
 
-func importTraces(input, out string, keep, shards int) {
+func importTraces(input, out string, keep, shards int, walled bool, walCfg grove.WALConfig) {
 	f, err := os.Open(input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)
@@ -133,6 +175,14 @@ func importTraces(input, out string, keep, shards int) {
 	}
 	defer f.Close()
 	st := grove.NewSharded(shards)
+	if walled {
+		// With WAL enabled first, every imported record takes the logged
+		// Append path; the Save below checkpoints the log away.
+		if err := st.EnableWAL(out, walCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "groveload:", err)
+			os.Exit(1)
+		}
+	}
 	n, err := st.ImportTraces(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "groveload:", err)

@@ -859,7 +859,16 @@ func (s *Store) AggViewNames() []string {
 // SHARDS.json manifest, committed last, that pins the exact cross-shard
 // generation cut (DESIGN.md §12); a single-shard store keeps the layout
 // above, so every store written by earlier versions round-trips unchanged.
+//
+// With a write-ahead log enabled on dir, Save is a checkpoint (DESIGN.md
+// §14): ingest stalls, the snapshot cuts, and past the commit point the log
+// truncates, pinned to the new generation. Saving a WAL-enabled store to a
+// *different* directory writes an ordinary full snapshot there and leaves
+// the log untouched.
 func (s *Store) Save(dir string) error {
+	if s.coord.WALEnabled() && cleanPath(dir) == cleanPath(s.coord.WALDir()) {
+		return s.coord.Checkpoint()
+	}
 	if s.coord.NumShards() > 1 {
 		return s.coord.Save(dir)
 	}
@@ -901,7 +910,11 @@ func Rollback(dir, gen string) error { return colstore.Rollback(dir, gen) }
 // LoadStore reads a store previously written with Save, detecting the
 // layout: a SHARDS.json manifest marks a sharded store (loaded at its
 // committed cross-shard generation cut), anything else loads as the
-// single-shard layout.
+// single-shard layout. A write-ahead log next to the snapshot (wal.log, per
+// shard) replays atop it when its header pins the loaded generation,
+// recovering every op the log persisted since the last checkpoint; torn
+// tails stop the replay at the last whole frame. LoadStore never modifies
+// the directory — truncating a torn tail is EnableWAL's job.
 func LoadStore(dir string) (*Store, error) {
 	if shard.IsShardedDir(dir) {
 		coord, err := shard.Load(dir)
@@ -918,7 +931,11 @@ func LoadStore(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStore(shard.NewFromRelations([]*colstore.Relation{rel}, reg)), nil
+	coord := shard.NewFromRelations([]*colstore.Relation{rel}, reg)
+	if err := coord.ReplayWALFS(fsio.OS(), dir, nil); err != nil {
+		return nil, err
+	}
+	return newStore(coord), nil
 }
 
 // ResetIOStats zeroes the I/O accounting counters on every shard.

@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{"paged", "Paged compressed columns: resident bytes vs scan throughput across pool budgets (tentpole)", ExpPaged},
 		{"obs", "Observability overhead: metrics and tracing vs off", ExpObs},
 		{"replay", "Workload record→replay round trip, digests verified across shard counts", ExpReplay},
+		{"wal", "Write-ahead log: ingest cost per fsync policy, crash-recovery verified (tentpole)", ExpWAL},
 		{"extcluster", "Extension: workload-driven column clustering (§6.1)", ExtCluster},
 		{"extmaint", "Extension: incremental view maintenance", ExtMaintenance},
 	}

@@ -188,6 +188,94 @@ func TestSaveFaultSweepMultiBlock(t *testing.T) {
 	}
 }
 
+// TestSaveFaultSweepSnapshotGC crashes Save at every I/O operation of a save
+// whose keep policy garbage-collects THREE older generations: the sweep
+// crosses the CURRENT flip and then each RemoveAll, proving GC runs strictly
+// after the commit point — a crash mid-collection leaves extra directories,
+// never a missing or half-installed state.
+func TestSaveFaultSweepSnapshotGC(t *testing.T) {
+	oldRel := buildSmallRelation(t)
+	oldRel.SetSnapshotKeep(1000) // seeds must pile up generations for GC to chew
+	newRel := buildSmallRelation(t)
+	newRel.SetEdgeMeasure(0, 9, 7)
+	newRel.SetSnapshotKeep(1)
+	refOld := refBytes(t, oldRel)
+	refNew := refBytes(t, newRel)
+	if bytes.Equal(refOld, refNew) {
+		t.Fatal("fixtures must differ for the sweep to mean anything")
+	}
+
+	seed := func() string {
+		dir := t.TempDir()
+		for i := 0; i < 3; i++ {
+			if err := oldRel.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	fault := fsio.NewFaultFS(fsio.OS())
+	fault.FailAt(0)
+	cleanDir := seed()
+	if err := newRel.SaveFS(fault, cleanDir); err != nil {
+		t.Fatal(err)
+	}
+	total := fault.Ops()
+	// The clean run must actually have collected: keep=1 leaves one gen.
+	if gens := listGenerations(fsio.OS(), cleanDir); len(gens) != 1 {
+		t.Fatalf("generations after keep=1 save = %v", gens)
+	}
+
+	for _, torn := range []bool{false, true} {
+		fault.SetTornWrites(torn)
+		var sawOld, sawNew, sawPartialGC bool
+		for k := int64(1); k <= total; k++ {
+			dir := seed()
+			fault.FailAt(k)
+			saveErr := newRel.SaveFS(fault, dir)
+			opLog := fault.OpLog()
+			fault.FailAt(0)
+			if saveErr == nil {
+				t.Fatalf("k=%d torn=%v: injected fault did not surface from Save", k, torn)
+			}
+			got, err := Load(dir)
+			if err != nil {
+				t.Fatalf("k=%d torn=%v: Load after crashed save failed: %v\nops:\n%s",
+					k, torn, err, strings.Join(opLog, "\n"))
+			}
+			gens := listGenerations(fsio.OS(), dir)
+			switch b := refBytes(t, got); {
+			case bytes.Equal(b, refOld):
+				sawOld = true
+				// Pre-commit crash: GC has not started, all three seed
+				// generations must still be intact (plus at most the
+				// uncommitted new one).
+				if len(gens) < 3 {
+					t.Fatalf("k=%d torn=%v: crash before commit lost seed generations: %v\nops:\n%s",
+						k, torn, gens, strings.Join(opLog, "\n"))
+				}
+			case bytes.Equal(b, refNew):
+				sawNew = true
+				if len(gens) > 1 {
+					sawPartialGC = true // crashed mid-collection: extra dirs, still loadable
+				}
+			default:
+				t.Fatalf("k=%d torn=%v: Load yielded a state that is neither old nor new\nops:\n%s",
+					k, torn, strings.Join(opLog, "\n"))
+			}
+		}
+		if !sawOld || !sawNew {
+			t.Fatalf("torn=%v: sweep did not cross the commit point (old=%v new=%v)", torn, sawOld, sawNew)
+		}
+		// With three generations to remove, some crash point must land
+		// between the flip and the last RemoveAll.
+		if !sawPartialGC {
+			t.Fatalf("torn=%v: sweep never observed a partially-collected directory", torn)
+		}
+	}
+}
+
 // TestLoadFallbackRecovery corrupts the installed generation and asserts
 // Load falls back to the previous one, counting the recovery.
 func TestLoadFallbackRecovery(t *testing.T) {

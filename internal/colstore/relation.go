@@ -211,6 +211,12 @@ func (r *Relation) sourceGenName() string {
 	return ""
 }
 
+// SourceGeneration returns the snapshot generation this relation was loaded
+// from ("" for a relation never loaded from disk). The write-ahead log's
+// header pins this value: a log only replays over the exact generation it
+// extends.
+func (r *Relation) SourceGeneration() string { return r.sourceGenName() }
+
 // StorageStats describes where a relation's measure bytes live: the logical
 // (decoded) size the cost model charges, the encoded on-disk size of paged
 // columns, what is actually resident in memory, and the per-encoding block

@@ -114,6 +114,24 @@ func (f *FaultFS) Open(name string) (File, error) {
 	return &faultFile{fs: f, name: name, inner: file}, nil
 }
 
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if fail, _ := f.step("openappend %s", name); fail {
+		return nil, fmt.Errorf("openappend %s: %w", name, ErrInjected)
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if fail, _ := f.step("truncate %s to %d", name, size); fail {
+		return fmt.Errorf("truncate %s: %w", name, ErrInjected)
+	}
+	return f.inner.Truncate(name, size)
+}
+
 func (f *FaultFS) Rename(oldpath, newpath string) error {
 	if fail, _ := f.step("rename %s -> %s", oldpath, newpath); fail {
 		return fmt.Errorf("rename %s: %w", oldpath, ErrInjected)

@@ -41,6 +41,12 @@ type FS interface {
 	Create(name string) (File, error)
 	// Open opens name read-only.
 	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent. The
+	// write-ahead log extends its tail through this handle.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts name to size bytes. The write-ahead log uses it to drop
+	// a torn tail before reopening the log for append.
+	Truncate(name string, size int64) error
 	// Rename atomically replaces newpath with oldpath (POSIX rename
 	// semantics: it either fully happens or does not happen at all).
 	Rename(oldpath, newpath string) error
@@ -73,6 +79,12 @@ func (osFS) Create(name string) (File, error) {
 func (osFS) Open(name string) (File, error) {
 	return os.Open(name)
 }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }

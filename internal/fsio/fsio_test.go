@@ -51,6 +51,100 @@ func TestOSRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOpenAppendAndTruncate(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	name := filepath.Join(dir, "log")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenAppend positions at the end: existing content is preserved.
+	a, err := fs.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("-tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(name); err != nil || string(b) != "head-tail" {
+		t.Fatalf("after append: %q, %v", b, err)
+	}
+
+	// Truncate cuts to the requested size; a following OpenAppend writes
+	// from the new end, not the old offset.
+	if err := fs.Truncate(name, 4); err != nil {
+		t.Fatal(err)
+	}
+	a, err = fs.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(name); err != nil || string(b) != "head!" {
+		t.Fatalf("after truncate+append: %q, %v", b, err)
+	}
+
+	// OpenAppend creates a missing file empty (O_CREATE semantics).
+	a, err = fs.OpenAppend(filepath.Join(dir, "absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := fs.Stat(filepath.Join(dir, "absent")); err != nil || fi.Size() != 0 {
+		t.Fatalf("created file: %v, %v", fi, err)
+	}
+}
+
+// TestFaultFSCountsAppendOps: the injector counts openappend and truncate
+// like any other op, so WAL crash sweeps cover them.
+func TestFaultFSCountsAppendOps(t *testing.T) {
+	fault := NewFaultFS(OS())
+	dir := t.TempDir()
+	name := filepath.Join(dir, "log")
+	if err := WriteFileAtomic(fault, name, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	fault.FailAt(1)
+	if _, err := fault.OpenAppend(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("openappend under fault = %v", err)
+	}
+	fault.FailAt(1)
+	if err := fault.Truncate(name, 5); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate under fault = %v", err)
+	}
+	if b, _ := os.ReadFile(name); string(b) != "0123456789" {
+		t.Fatalf("failed truncate modified the file: %q", b)
+	}
+	fault.FailAt(0)
+	if err := fault.Truncate(name, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(name); string(b) != "01234" {
+		t.Fatalf("truncate through the injector: %q", b)
+	}
+}
+
 func TestWriteFileAtomicReplaces(t *testing.T) {
 	fs := OS()
 	dir := t.TempDir()

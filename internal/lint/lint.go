@@ -105,17 +105,20 @@ func Analyzers() []*Analyzer {
 // DefaultFilter scopes analyzers the way `make lint` runs them: droppederr
 // applies only to internal/... packages (cmd and example binaries may
 // legitimately best-effort print), fsioonly only to the persistence layer
-// (internal/colstore — elsewhere direct os calls are fine), everything else
-// module-wide.
+// (internal/colstore and internal/wal — the packages whose crash-fault
+// sweeps depend on every file op routing through the fsio seam; elsewhere
+// direct os calls are fine), everything else module-wide.
 func DefaultFilter(m *Module) func(*Analyzer, *Package) bool {
 	internalPrefix := m.Path + "/internal/"
 	colstorePath := m.Path + "/internal/colstore"
+	walPath := m.Path + "/internal/wal"
 	return func(a *Analyzer, p *Package) bool {
 		switch a.Name {
 		case DroppedErr.Name:
 			return strings.HasPrefix(p.Path, internalPrefix)
 		case FsioOnly.Name:
-			return p.Path == colstorePath || strings.HasPrefix(p.Path, colstorePath+"/")
+			return p.Path == colstorePath || strings.HasPrefix(p.Path, colstorePath+"/") ||
+				p.Path == walPath || strings.HasPrefix(p.Path, walPath+"/")
 		}
 		return true
 	}

@@ -11,6 +11,11 @@ const (
 	KindPathAgg   = "pathagg"   // path aggregation F_Gq
 	KindExpr      = "expr"      // boolean combination of graph queries
 	KindStatement = "statement" // parsed text-language statement
+
+	// WAL lifecycle traces (not queries, but the same ring and tooling
+	// observe them): a replay at load time, a checkpoint at save time.
+	KindWALReplay     = "wal-replay"
+	KindWALCheckpoint = "wal-checkpoint"
 )
 
 // Lifecycle phases, in the order a query passes through them. A trace holds
@@ -32,6 +37,12 @@ const (
 	PhaseFanOut    = "fan-out"    // shard sub-queries dispatched and awaited
 	PhaseQueueWait = "queue-wait" // dispatch → execution start, one span per shard
 	PhaseMerge     = "merge"      // per-shard partials combined
+
+	// WAL phases (DESIGN.md §14). Replay traces carry one wal-apply span per
+	// shard; checkpoint traces a snapshot span and a wal-truncate span.
+	PhaseWALApply    = "wal-apply"    // decoded ops re-applied atop the snapshot
+	PhaseSnapshot    = "snapshot"     // generational save inside a checkpoint
+	PhaseWALTruncate = "wal-truncate" // log reset after the commit point
 )
 
 // ShardCoordinator is the Shard label of a coordinator-level root trace or

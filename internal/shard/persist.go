@@ -55,6 +55,12 @@ type shardsManifest struct {
 	// Generations[i] is the pinned snapshot generation of shard i
 	// ("gen-000003").
 	Generations []string `json:"generations"`
+	// WALLSNs[i], when present, is the LSN shard i's write-ahead log resumes
+	// at for this cut: a checkpoint records each log's next LSN at the
+	// stalled instant the generations were cut. Replay refuses a log whose
+	// header BaseLSN disagrees — that log extends some other cut, and mixing
+	// it with these generations would break cross-shard consistency.
+	WALLSNs []uint64 `json:"wal_lsns,omitempty"`
 }
 
 // shardDirName returns shard i's subdirectory name.
@@ -108,6 +114,9 @@ func readShardsManifest(fs fsio.FS, dir string) (*shardsManifest, error) {
 	if m.NumShards < 1 || len(m.Generations) != m.NumShards {
 		return nil, fmt.Errorf("shard: %s inconsistent: %d shards, %d generations", manifestFile, m.NumShards, len(m.Generations))
 	}
+	if m.WALLSNs != nil && len(m.WALLSNs) != m.NumShards {
+		return nil, fmt.Errorf("shard: %s inconsistent: %d shards, %d wal lsns", manifestFile, m.NumShards, len(m.WALLSNs))
+	}
 	return &m, nil
 }
 
@@ -146,13 +155,10 @@ func (c *Coordinator) SaveFS(fs fsio.FS, dir string) error {
 		gens[i] = gen
 	}
 
-	m := shardsManifest{FormatVersion: 1, NumShards: len(c.units), Generations: gens}
-	b, err := json.Marshal(&m)
-	if err != nil {
-		return fmt.Errorf("shard: save: %w", err)
-	}
-	if err := fsio.WriteFileAtomic(fs, filepath.Join(dir, manifestFile), b); err != nil {
-		return fmt.Errorf("shard: save %s: %w", manifestFile, err)
+	if err := writeShardsManifest(fs, dir, shardsManifest{
+		FormatVersion: 1, NumShards: len(c.units), Generations: gens,
+	}); err != nil {
+		return err
 	}
 
 	// The new cut is durable: move GC protection onto it.
@@ -168,6 +174,9 @@ func Load(dir string) (*Coordinator, error) { return LoadFS(fsio.OS(), dir) }
 // LoadFS reads a sharded store from dir: the manifest names the committed
 // cross-shard cut, and every shard loads exactly its pinned generation —
 // never its CURRENT pointer, which a crashed later save may have advanced.
+// Each shard's write-ahead log (when present and pinned to exactly this cut)
+// then replays atop its snapshot, recovering every op the log persisted
+// since the checkpoint.
 func LoadFS(fs fsio.FS, dir string) (*Coordinator, error) {
 	m, err := readShardsManifest(fs, dir)
 	if err != nil {
@@ -188,5 +197,9 @@ func LoadFS(fs fsio.FS, dir string) (*Coordinator, error) {
 		rel.SetGCProtect(m.Generations[i])
 		rels[i] = rel
 	}
-	return NewFromRelations(rels, reg), nil
+	c := NewFromRelations(rels, reg)
+	if err := c.ReplayWALFS(fs, dir, m.WALLSNs); err != nil {
+		return nil, err
+	}
+	return c, nil
 }

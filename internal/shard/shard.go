@@ -38,12 +38,20 @@ import (
 	"grove/internal/obs"
 	"grove/internal/query"
 	"grove/internal/view"
+	"grove/internal/wal"
 )
 
 // Unit is one shard: a relation plus the engine that queries it.
 type Unit struct {
 	Rel *colstore.Relation
 	Eng *query.Engine
+
+	// ingestMu serializes this shard's mutations with respect to the
+	// write-ahead log: held across "append frame to log, apply in memory",
+	// so the log's frame order always equals the apply order (which is what
+	// makes replayed record ids deterministic). A checkpoint holds every
+	// shard's ingestMu at once to cut a consistent cross-shard snapshot.
+	ingestMu sync.Mutex
 
 	// pending counts the shard sub-queries currently queued or running on
 	// this shard — the per-shard queue-depth gauge on /metrics.
@@ -81,6 +89,16 @@ type Coordinator struct {
 	slow      *obs.SlowLog
 	queueWait []*obs.Histogram
 	mergeDur  *obs.Histogram
+
+	// Write-ahead log state (internal/shard/wal.go). wal is nil until
+	// AttachWALFS succeeds — the disabled mutator hot path pays one atomic
+	// pointer load. walAnchor/walLoadDir describe what a Load left in
+	// memory; the replay/skip counters survive for WALStats.
+	wal         atomic.Pointer[walState]
+	walAnchor   []walAnchor
+	walLoadDir  string
+	walReplayed atomic.Int64
+	walSkipped  atomic.Int64
 }
 
 // New creates a coordinator over n empty shards (n < 1 is clamped to 1) with
@@ -173,14 +191,11 @@ func (c *Coordinator) mergeBitmaps(subs []*bitmap.Bitmap) *bitmap.Bitmap {
 // Add appends a record to the next shard in round-robin order and returns
 // its global record id. Concurrent Adds to different shards proceed in
 // parallel; Adds landing on the same shard serialize on that shard's lock.
+// With a write-ahead log attached, durability failures are latched and
+// surfaced via WALError; Append reports them per call.
 func (c *Coordinator) Add(rec *graph.Record) uint32 {
-	n := len(c.units)
-	if n == 1 {
-		return graph.LoadRecord(c.units[0].Rel, c.reg, rec)
-	}
-	s := int((c.rr.Add(1) - 1) % uint64(n))
-	local := graph.LoadRecord(c.units[s].Rel, c.reg, rec)
-	return c.globalID(s, local)
+	id, _ := c.Append(rec) //grovevet:ignore droppederr Add keeps its historical signature; the WAL latch surfaces the error via WALError
+	return id
 }
 
 // Delete soft-deletes the record with global id g.
@@ -189,7 +204,25 @@ func (c *Coordinator) Delete(g uint32) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return u.Rel.Delete(local)
+	w := c.wal.Load()
+	if w == nil {
+		return u.Rel.Delete(local)
+	}
+	s := int(g % uint32(len(c.units)))
+	u.ingestMu.Lock() //grovevet:ignore lockorder the log append must happen under ingestMu so file order equals apply order
+	lsn, werr := w.logs[s].Append(wal.Op{Kind: wal.OpDelete, Rec: local})
+	was, derr := u.Rel.Delete(local)
+	u.ingestMu.Unlock()
+	if werr == nil {
+		werr = w.logs[s].Commit(lsn)
+	}
+	if derr != nil {
+		return was, derr
+	}
+	if werr != nil {
+		return was, fmt.Errorf("shard %d: %w", s, werr)
+	}
+	return was, nil
 }
 
 // Undelete restores a soft-deleted record.
@@ -198,7 +231,19 @@ func (c *Coordinator) Undelete(g uint32) bool {
 	if err != nil {
 		return false
 	}
-	return u.Rel.Undelete(local)
+	w := c.wal.Load()
+	if w == nil {
+		return u.Rel.Undelete(local)
+	}
+	s := int(g % uint32(len(c.units)))
+	u.ingestMu.Lock() //grovevet:ignore lockorder the log append must happen under ingestMu so file order equals apply order
+	lsn, werr := w.logs[s].Append(wal.Op{Kind: wal.OpUndelete, Rec: local})
+	was := u.Rel.Undelete(local)
+	u.ingestMu.Unlock()
+	if werr == nil {
+		w.logs[s].Commit(lsn) //grovevet:ignore droppederr Undelete keeps its bool signature; a commit failure latches and surfaces via WALError
+	}
+	return was
 }
 
 // Tag attaches a key=value tag to the record with global id g.
@@ -207,7 +252,27 @@ func (c *Coordinator) Tag(g uint32, key, value string) error {
 	if err != nil {
 		return err
 	}
-	return u.Rel.Tag(local, key, value)
+	w := c.wal.Load()
+	if w == nil || key == "" {
+		// An empty key never reaches the log: the relation rejects it, and
+		// logging an op replay would refuse to decode would tear the prefix.
+		return u.Rel.Tag(local, key, value)
+	}
+	s := int(g % uint32(len(c.units)))
+	u.ingestMu.Lock() //grovevet:ignore lockorder the log append must happen under ingestMu so file order equals apply order
+	lsn, werr := w.logs[s].Append(wal.Op{Kind: wal.OpTag, Rec: local, Key: key, Val: value})
+	terr := u.Rel.Tag(local, key, value)
+	u.ingestMu.Unlock()
+	if werr == nil {
+		werr = w.logs[s].Commit(lsn)
+	}
+	if terr != nil {
+		return terr
+	}
+	if werr != nil {
+		return fmt.Errorf("shard %d: %w", s, werr)
+	}
+	return werr
 }
 
 // TaggedWith returns the global ids of the records tagged key=value. The
@@ -541,10 +606,11 @@ func (c *Coordinator) PageError() error {
 	return nil
 }
 
-// Close releases every shard relation's cached snapshot file handles,
-// returning the first error.
+// Close releases every shard relation's cached snapshot file handles and
+// closes the write-ahead log (final fsync included), returning the first
+// error.
 func (c *Coordinator) Close() error {
-	var first error
+	first := c.CloseWAL()
 	for _, u := range c.units {
 		if err := u.Rel.Close(); err != nil && first == nil {
 			first = err

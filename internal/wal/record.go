@@ -1,0 +1,383 @@
+// Package wal is grove's write-ahead log: an append-only, CRC-framed record
+// of the mutations applied to one shard since its last snapshot. The log is
+// the durability gap-filler between generational saves — a crash loses at
+// most the ops after the last acknowledged fsync, and `Load` replays the
+// surviving prefix atop the snapshot generation the log's header pins.
+//
+// File layout:
+//
+//	header:  magic | version | shard | baseLSN | gen | crc32c
+//	frame*:  len | crc32c(body) | body{kind, lsn, payload}
+//
+// Every frame carries its own CRC and a log sequence number that must be
+// exactly one past its predecessor's; the first frame that is short, fails
+// its CRC, or breaks the LSN chain ends the valid prefix — everything after
+// it is a torn tail from a crash mid-write and is truncated on reattach.
+// All I/O goes through internal/fsio so the crash sweep can fail every
+// single operation.
+package wal
+
+import (
+	"fmt"
+	"math"
+
+	"grove/internal/graph"
+)
+
+// Kind identifies the mutation a log frame carries.
+type Kind uint8
+
+const (
+	// OpAddRecord appends a whole graph record (elements + measures).
+	OpAddRecord Kind = 1
+	// OpAppendEdge adds one element (edge or node) with an optional measure
+	// to an existing record.
+	OpAppendEdge Kind = 2
+	// OpDelete tombstones a record.
+	OpDelete Kind = 3
+	// OpUndelete clears a record's tombstone.
+	OpUndelete Kind = 4
+	// OpTag sets a tag key/value on a record.
+	OpTag Kind = 5
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpAddRecord:
+		return "add-record"
+	case OpAppendEdge:
+		return "append-edge"
+	case OpDelete:
+		return "delete"
+	case OpUndelete:
+		return "undelete"
+	case OpTag:
+		return "tag"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one logged mutation. Payloads carry element *names*, not registry
+// edge ids: ids are assigned densely in first-use order, so replaying shards
+// sequentially reassigns them deterministically without logging the registry.
+type Op struct {
+	Kind Kind
+	// LSN is assigned by Log.Append and recovered by the decoder.
+	LSN uint64
+	// Rec is the shard-local record id (every kind except OpAddRecord).
+	Rec uint32
+	// Record is the full record for OpAddRecord.
+	Record *graph.Record
+	// From, To, Measure, Value, HasValue describe an OpAppendEdge element;
+	// Measure "" is the default measure, HasValue false a bare element.
+	From, To string
+	Measure  string
+	Value    float64
+	HasValue bool
+	// Key, Val are the OpTag pair.
+	Key, Val string
+}
+
+const (
+	// maxFrameLen bounds a frame body; anything larger is treated as a torn
+	// tail rather than trusted as an allocation size.
+	maxFrameLen = 16 << 20
+	// frameHeadLen is the fixed prefix of a frame: u32 length + u32 CRC.
+	frameHeadLen = 8
+	// frameBodyMin is the smallest body: u8 kind + u64 lsn, empty payload.
+	frameBodyMin = 9
+	// maxStringLen bounds any single string in a payload (u16 length).
+	maxStringLen = 1<<16 - 1
+)
+
+// enc is a little-endian append-only byte builder for payloads and frames.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+func (e *enc) u32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *enc) u64(v uint64) {
+	e.u32(uint32(v))
+	e.u32(uint32(v >> 32))
+}
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("wal: string of %d bytes exceeds the %d-byte payload limit", len(s), maxStringLen)
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+	return nil
+}
+
+// dec is the matching bounds-checked reader. The first out-of-bounds access
+// latches err; callers check err once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated payload reading %s at offset %d", what, d.off)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail("u16")
+		return 0
+	}
+	v := uint16(d.b[d.off]) | uint16(d.b[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := uint32(d.b[d.off]) | uint32(d.b[d.off+1])<<8 | uint32(d.b[d.off+2])<<16 | uint32(d.b[d.off+3])<<24
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	lo := d.u32()
+	hi := d.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// encodePayload serializes the op body (everything after kind+lsn).
+func (o *Op) encodePayload() ([]byte, error) {
+	e := &enc{}
+	switch o.Kind {
+	case OpAddRecord:
+		if o.Record == nil {
+			return nil, fmt.Errorf("wal: add-record op without a record")
+		}
+		elems := o.Record.Elements()
+		names := o.Record.MeasureNames()
+		e.u32(uint32(len(elems)))
+		for _, k := range elems {
+			if err := e.str(k.From); err != nil {
+				return nil, err
+			}
+			if err := e.str(k.To); err != nil {
+				return nil, err
+			}
+			m := o.Record.Measure(k)
+			if m.Valid {
+				e.u8(1)
+				e.f64(m.Value)
+			} else {
+				e.u8(0)
+			}
+			// Count first, then emit: named measures are sparse per element.
+			var n uint16
+			for _, name := range names {
+				if o.Record.MeasureNamed(k, name).Valid {
+					n++
+				}
+			}
+			e.u16(n)
+			for _, name := range names {
+				if nm := o.Record.MeasureNamed(k, name); nm.Valid {
+					if err := e.str(name); err != nil {
+						return nil, err
+					}
+					e.f64(nm.Value)
+				}
+			}
+		}
+	case OpAppendEdge:
+		e.u32(o.Rec)
+		if err := e.str(o.From); err != nil {
+			return nil, err
+		}
+		if err := e.str(o.To); err != nil {
+			return nil, err
+		}
+		if err := e.str(o.Measure); err != nil {
+			return nil, err
+		}
+		if o.HasValue {
+			e.u8(1)
+			e.f64(o.Value)
+		} else {
+			e.u8(0)
+		}
+	case OpDelete, OpUndelete:
+		e.u32(o.Rec)
+	case OpTag:
+		e.u32(o.Rec)
+		if err := e.str(o.Key); err != nil {
+			return nil, err
+		}
+		if err := e.str(o.Val); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wal: cannot encode unknown op kind %d", o.Kind)
+	}
+	return e.b, nil
+}
+
+// decodePayload parses a payload for kind into op. It either fully succeeds
+// or returns an error with op untouched semantically — a partial op is never
+// handed to the caller.
+func decodePayload(kind Kind, lsn uint64, payload []byte) (Op, error) {
+	op := Op{Kind: kind, LSN: lsn}
+	d := &dec{b: payload}
+	switch kind {
+	case OpAddRecord:
+		n := int(d.u32())
+		// Each element needs at least from+to lengths, a flag byte and a
+		// named-measure count: 7 bytes. Reject counts the payload cannot hold
+		// before allocating anything.
+		if d.err == nil && n > (len(payload)-d.off)/7+1 {
+			return Op{}, fmt.Errorf("wal: add-record claims %d elements in a %d-byte payload", n, len(payload))
+		}
+		rec := graph.NewRecord()
+		for i := 0; i < n && d.err == nil; i++ {
+			from := d.str()
+			to := d.str()
+			k := graph.E(from, to)
+			if d.u8() == 1 {
+				if err := rec.SetElement(k, d.f64()); err != nil {
+					return Op{}, err
+				}
+			} else {
+				rec.AddBareElement(k)
+			}
+			named := int(d.u16())
+			for j := 0; j < named && d.err == nil; j++ {
+				name := d.str()
+				v := d.f64()
+				if d.err != nil {
+					break
+				}
+				if name == graph.DefaultMeasure {
+					return Op{}, fmt.Errorf("wal: add-record element %s names the default measure explicitly", k)
+				}
+				if err := rec.SetElementNamed(k, name, v); err != nil {
+					return Op{}, err
+				}
+			}
+		}
+		op.Record = rec
+	case OpAppendEdge:
+		op.Rec = d.u32()
+		op.From = d.str()
+		op.To = d.str()
+		op.Measure = d.str()
+		op.HasValue = d.u8() == 1
+		if op.HasValue {
+			op.Value = d.f64()
+			if d.err == nil && (math.IsNaN(op.Value) || math.IsInf(op.Value, 0)) {
+				return Op{}, fmt.Errorf("wal: append-edge measure must be finite, got %v", op.Value)
+			}
+		}
+	case OpDelete, OpUndelete:
+		op.Rec = d.u32()
+	case OpTag:
+		op.Rec = d.u32()
+		op.Key = d.str()
+		op.Val = d.str()
+		if d.err == nil && op.Key == "" {
+			return Op{}, fmt.Errorf("wal: tag op with empty key")
+		}
+	default:
+		return Op{}, fmt.Errorf("wal: unknown op kind %d", kind)
+	}
+	if d.err != nil {
+		return Op{}, d.err
+	}
+	if d.off != len(payload) {
+		return Op{}, fmt.Errorf("wal: %d trailing bytes after %s payload", len(payload)-d.off, kind)
+	}
+	return op, nil
+}
+
+// encodeFrame wraps a payload in the on-disk frame: length, CRC-32C of the
+// body, then the body (kind, lsn, payload).
+func encodeFrame(kind Kind, lsn uint64, payload []byte) ([]byte, error) {
+	bodyLen := frameBodyMin + len(payload)
+	if bodyLen > maxFrameLen {
+		return nil, fmt.Errorf("wal: frame body of %d bytes exceeds the %d-byte limit", bodyLen, maxFrameLen)
+	}
+	e := &enc{b: make([]byte, 0, frameHeadLen+bodyLen)}
+	e.u32(uint32(bodyLen))
+	e.u32(0) // CRC placeholder
+	e.u8(uint8(kind))
+	e.u64(lsn)
+	e.b = append(e.b, payload...)
+	crc := checksum(e.b[frameHeadLen:])
+	e.b[4] = byte(crc)
+	e.b[5] = byte(crc >> 8)
+	e.b[6] = byte(crc >> 16)
+	e.b[7] = byte(crc >> 24)
+	return e.b, nil
+}
+
+// decodeFrame parses the frame starting at b[0]. It returns the decoded op
+// and the total frame size. ok=false means the bytes do not contain a whole,
+// checksum-valid, decodable frame — the caller treats that point as the torn
+// tail. reason explains what broke for inspection tooling.
+func decodeFrame(b []byte, wantLSN uint64) (op Op, size int, ok bool, reason string) {
+	if len(b) < frameHeadLen {
+		return Op{}, 0, false, "short frame header"
+	}
+	d := &dec{b: b}
+	bodyLen := int(d.u32())
+	crc := d.u32()
+	if bodyLen < frameBodyMin || bodyLen > maxFrameLen {
+		return Op{}, 0, false, fmt.Sprintf("implausible frame length %d", bodyLen)
+	}
+	if len(b) < frameHeadLen+bodyLen {
+		return Op{}, 0, false, "short frame body"
+	}
+	body := b[frameHeadLen : frameHeadLen+bodyLen]
+	if checksum(body) != crc {
+		return Op{}, 0, false, "frame CRC mismatch"
+	}
+	kind := Kind(body[0])
+	bd := &dec{b: body, off: 1}
+	lsn := bd.u64()
+	if lsn != wantLSN {
+		return Op{}, 0, false, fmt.Sprintf("LSN %d breaks the chain (want %d)", lsn, wantLSN)
+	}
+	op, err := decodePayload(kind, lsn, body[bd.off:])
+	if err != nil {
+		return Op{}, 0, false, err.Error()
+	}
+	return op, frameHeadLen + bodyLen, true, ""
+}

@@ -1,0 +1,475 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grove/internal/fsio"
+)
+
+// castagnoli is the CRC-32C table, the same polynomial the snapshot format
+// uses, so one corruption-detection story covers both files.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+const (
+	// magic opens every log file.
+	magic = "GROVEWAL"
+	// formatVersion is bumped on incompatible layout changes.
+	formatVersion = 1
+	// FileName is the log's name inside a store (or shard) directory.
+	FileName = "wal.log"
+)
+
+// SyncPolicy selects when Commit turns an acknowledged append into an fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Commit; concurrent committers are batched
+	// onto one fsync (group commit). No acknowledged write is ever lost.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when at least Config.Interval has elapsed since
+	// the previous fsync; a crash loses at most one interval of writes.
+	SyncInterval
+	// SyncNever leaves fsync to snapshots and the OS; fastest, weakest.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the CLI spelling of a policy to its value.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// DefaultInterval is the fsync cadence SyncInterval uses when Config.Interval
+// is unset.
+const DefaultInterval = 100 * time.Millisecond
+
+// Config selects the durability/throughput trade-off of a log.
+type Config struct {
+	Policy SyncPolicy
+	// Interval is the minimum spacing between fsyncs under SyncInterval;
+	// zero or negative selects DefaultInterval.
+	Interval time.Duration
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return DefaultInterval
+}
+
+// Header is the decoded fixed prologue of a log file. It pins the log to the
+// snapshot generation it extends: replay applies the log only over exactly
+// that generation, which is what makes checkpointing exactly-once — a log
+// pinned to a superseded generation is dead weight, never double-applied.
+type Header struct {
+	Version uint32
+	// Shard is the shard index this log belongs to (0 for a single-shard
+	// store).
+	Shard uint32
+	// BaseLSN is the LSN the first frame after the header must carry. LSNs
+	// continue across checkpoints: a reset log restarts empty but numbers
+	// from where the previous incarnation stopped.
+	BaseLSN uint64
+	// Gen is the snapshot generation this log extends ("" for a log created
+	// before the store was ever saved — only valid for an empty store).
+	Gen string
+}
+
+func encodeHeader(h Header) ([]byte, error) {
+	e := &enc{}
+	e.b = append(e.b, magic...)
+	e.u32(h.Version)
+	e.u32(h.Shard)
+	e.u64(h.BaseLSN)
+	if err := e.str(h.Gen); err != nil {
+		return nil, err
+	}
+	e.u32(checksum(e.b))
+	return e.b, nil
+}
+
+// decodeHeader parses a header from the front of b, returning its byte size.
+func decodeHeader(b []byte) (Header, int, error) {
+	if len(b) < len(magic) {
+		return Header{}, 0, fmt.Errorf("wal: file shorter than the magic string")
+	}
+	if string(b[:len(magic)]) != magic {
+		return Header{}, 0, fmt.Errorf("wal: bad magic %q", b[:len(magic)])
+	}
+	d := &dec{b: b, off: len(magic)}
+	var h Header
+	h.Version = d.u32()
+	h.Shard = d.u32()
+	h.BaseLSN = d.u64()
+	h.Gen = d.str()
+	end := d.off
+	crc := d.u32()
+	if d.err != nil {
+		return Header{}, 0, fmt.Errorf("wal: truncated header")
+	}
+	if checksum(b[:end]) != crc {
+		return Header{}, 0, fmt.Errorf("wal: header CRC mismatch")
+	}
+	if h.Version != formatVersion {
+		return Header{}, 0, fmt.Errorf("wal: unsupported format version %d (have %d)", h.Version, formatVersion)
+	}
+	return h, d.off, nil
+}
+
+// Stats is a point-in-time snapshot of a log's counters, read without
+// blocking appenders.
+type Stats struct {
+	// Appends counts frames written; AppendedBytes the bytes they occupied.
+	Appends, AppendedBytes int64
+	// Fsyncs counts physical fsync calls (group commit makes this smaller
+	// than Appends under SyncAlways with concurrency).
+	Fsyncs int64
+	// Resets counts checkpoint truncations of this log.
+	Resets int64
+	// BaseLSN/NextLSN bound the live frames: the log holds LSNs
+	// [BaseLSN, NextLSN).
+	BaseLSN, NextLSN uint64
+	// Synced is the highest LSN known durable (fsync-acknowledged).
+	Synced uint64
+	// Gen is the snapshot generation the log currently extends.
+	Gen string
+}
+
+// Log is an open write-ahead log for one shard. Append serializes a frame
+// into the file; Commit makes it durable per the configured policy. A Log is
+// safe for concurrent use.
+//
+// The error model is a sticky latch: the first failed write or fsync poisons
+// the log — every later Append fails immediately, so the on-disk file is
+// always a clean prefix of the acknowledged ops. Callers keep applying ops
+// in memory (availability) and surface the latched error to the operator.
+type Log struct {
+	fs    fsio.FS
+	path  string
+	shard uint32
+	cfg   Config
+
+	// mu serializes frame writes and the lsn/size bookkeeping.
+	mu      sync.Mutex
+	f       fsio.File
+	gen     string
+	baseLSN uint64
+	nextLSN uint64 // LSN the next Append will claim
+	size    int64
+	failed  error // sticky write/fsync failure
+
+	// syncMu guards the group-commit state: one goroutine fsyncs while the
+	// rest wait on cond and re-check synced.
+	syncMu   sync.Mutex
+	cond     *sync.Cond
+	synced   uint64 // highest LSN known durable
+	syncing  bool
+	lastSync time.Time
+
+	appends atomic.Int64
+	bytes   atomic.Int64
+	fsyncs  atomic.Int64
+	resets  atomic.Int64
+}
+
+// Create makes a fresh log at path (truncating any prior file), pinned to
+// gen and numbering from base. The header is written and fsynced before
+// Create returns, so a log that exists at all has a readable identity.
+func Create(fs fsio.FS, path string, shard uint32, gen string, base uint64, cfg Config) (*Log, error) {
+	l := newLog(fs, path, shard, cfg)
+	if err := l.createLocked(gen, base); err != nil {
+		return nil, err
+	}
+	l.synced = base - 1
+	return l, nil
+}
+
+// OpenAt attaches to an existing, already-scanned log for appending. The
+// torn tail past scan.GoodSize (if any) is truncated away first; appending
+// resumes at scan.NextLSN. The caller has already verified the header pins
+// the generation it expects.
+func OpenAt(fs fsio.FS, path string, scan *ScanResult, cfg Config) (*Log, error) {
+	l := newLog(fs, path, scan.Header.Shard, cfg)
+	if scan.TornBytes() > 0 {
+		if err := fs.Truncate(path, scan.GoodSize); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s for append: %w", path, err)
+	}
+	l.f = f
+	l.gen = scan.Header.Gen
+	l.baseLSN = scan.Header.BaseLSN
+	l.nextLSN = scan.NextLSN
+	l.size = scan.GoodSize
+	// Frames read back from disk are as durable as they will ever be.
+	l.synced = scan.NextLSN - 1
+	return l, nil
+}
+
+func newLog(fs fsio.FS, path string, shard uint32, cfg Config) *Log {
+	l := &Log{fs: fs, path: path, shard: shard, cfg: cfg}
+	l.cond = sync.NewCond(&l.syncMu)
+	return l
+}
+
+// createLocked (re)creates the file with a fresh header. Callers hold no
+// locks on a new Log; Reset holds mu.
+func (l *Log) createLocked(gen string, base uint64) error {
+	hdr, err := encodeHeader(Header{Version: formatVersion, Shard: l.shard, BaseLSN: base, Gen: gen})
+	if err != nil {
+		return err
+	}
+	if l.f != nil {
+		l.f.Close() //grovevet:ignore droppederr the handle is being replaced; the new header write surfaces any real failure
+		l.f = nil
+	}
+	f, err := l.fs.Create(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close() //grovevet:ignore droppederr the write error is already being returned
+		return fmt.Errorf("wal: write header of %s: %w", l.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //grovevet:ignore droppederr the sync error is already being returned
+		return fmt.Errorf("wal: sync header of %s: %w", l.path, err)
+	}
+	l.f = f
+	l.gen = gen
+	l.baseLSN = base
+	l.nextLSN = base
+	l.size = int64(len(hdr))
+	l.failed = nil
+	return nil
+}
+
+// Append serializes op into the file and returns its LSN. The frame is in
+// the OS buffer cache but NOT yet durable — call Commit(lsn) to make it so
+// under the configured policy. Append never blocks on an fsync.
+func (l *Log) Append(op Op) (uint64, error) {
+	payload, err := op.encodePayload()
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := l.nextLSN
+	frame, err := encodeFrame(op.Kind, lsn, payload)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	//grovevet:ignore lockorder the file write must happen under mu: frame order in the file must equal LSN order
+	if _, err := l.f.Write(frame); err != nil {
+		l.failed = fmt.Errorf("wal: append to %s: %w", l.path, err)
+		err := l.failed
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.nextLSN++
+	l.size += int64(len(frame))
+	l.mu.Unlock()
+	l.appends.Add(1)
+	l.bytes.Add(int64(len(frame)))
+	return lsn, nil
+}
+
+// Commit makes the append that returned lsn durable according to the
+// configured policy. Under SyncAlways concurrent committers are batched: one
+// of them performs the fsync and the rest observe it covered their LSN.
+func (l *Log) Commit(lsn uint64) error {
+	switch l.cfg.Policy {
+	case SyncNever:
+		return nil
+	case SyncInterval:
+		l.syncMu.Lock()
+		due := time.Since(l.lastSync) >= l.cfg.interval()
+		l.syncMu.Unlock()
+		if !due {
+			return nil
+		}
+		return l.syncTo(lsn)
+	default:
+		return l.syncTo(lsn)
+	}
+}
+
+// Sync forces an fsync covering every append so far, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+	return l.syncTo(target)
+}
+
+// syncTo blocks until LSNs up to lsn are durable, performing the fsync
+// itself if no other goroutine is already doing one (group commit).
+func (l *Log) syncTo(lsn uint64) error {
+	l.syncMu.Lock()
+	for {
+		if l.synced >= lsn {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.cond.Wait()
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	// Everything appended before this point rides on this one fsync.
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	f, ferr := l.f, l.failed
+	l.mu.Unlock()
+	var err error
+	switch {
+	case ferr != nil:
+		err = ferr
+	default:
+		//grovevet:ignore lockorder fsync intentionally happens outside mu so appenders are never blocked on the disk
+		if err = f.Sync(); err != nil {
+			err = fmt.Errorf("wal: fsync %s: %w", l.path, err)
+			l.latch(err)
+		} else {
+			l.fsyncs.Add(1)
+		}
+	}
+
+	l.syncMu.Lock()
+	if err == nil {
+		l.synced = target
+		l.lastSync = time.Now()
+	}
+	l.syncing = false
+	l.cond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// latch records a write/fsync failure so every later Append refuses.
+func (l *Log) latch(err error) {
+	l.mu.Lock()
+	if l.failed == nil {
+		l.failed = err
+	}
+	l.mu.Unlock()
+}
+
+// Reset truncates the log after a successful checkpoint: the file is
+// recreated with a header pinned to gen and a BaseLSN continuing the
+// sequence. Must only be called after the checkpoint's commit point (the
+// CURRENT flip / manifest write), with ingest stalled.
+func (l *Log) Reset(gen string) error {
+	//grovevet:ignore lockorder the file swap must happen under mu: ingest is stalled by the checkpoint and no append may interleave with the close/recreate
+	l.mu.Lock()
+	base := l.nextLSN
+	err := l.createLocked(gen, base)
+	if err != nil {
+		// The old handle is gone and the new file may be missing or torn; a
+		// torn header fails its CRC on the next load, so the log degrades to
+		// "absent" — the snapshot alone carries the state.
+		l.failed = fmt.Errorf("wal: reset %s: %w", l.path, err)
+		err = l.failed
+	}
+	l.mu.Unlock()
+	if err == nil {
+		l.resets.Add(1)
+		l.syncMu.Lock()
+		l.synced = base - 1
+		l.syncMu.Unlock()
+	}
+	return err
+}
+
+// Err returns the sticky failure, if any: non-nil means the log stopped
+// recording at some prefix and the store is running memory-only past it.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// NextLSN returns the LSN the next append will claim.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	base, next, gen := l.baseLSN, l.nextLSN, l.gen
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	synced := l.synced
+	l.syncMu.Unlock()
+	return Stats{
+		Appends:       l.appends.Load(),
+		AppendedBytes: l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Resets:        l.resets.Load(),
+		BaseLSN:       base,
+		NextLSN:       next,
+		Synced:        synced,
+		Gen:           gen,
+	}
+}
+
+// Close fsyncs and closes the file. The Log is unusable afterwards.
+func (l *Log) Close() error {
+	//grovevet:ignore lockorder final flush: Close must not race a late append, so waiting out the fsync under mu is the point
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.failed == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

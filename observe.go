@@ -92,6 +92,16 @@ const (
 	MetricStorageOnDiskBytes    = "grove_storage_ondisk_bytes"
 	MetricStorageResidentBytes  = "grove_storage_resident_bytes"
 	MetricStorageBlocks         = "grove_storage_blocks"
+
+	// Write-ahead log (DESIGN.md §14). Counters sum across the per-shard
+	// logs; the LSN gauge is per shard.
+	MetricWALAppends       = "grove_wal_appends_total"
+	MetricWALAppendedBytes = "grove_wal_appended_bytes_total"
+	MetricWALFsyncs        = "grove_wal_fsyncs_total"
+	MetricWALReplayedOps   = "grove_wal_replayed_ops_total"
+	MetricWALTruncations   = "grove_wal_truncations_total"
+	MetricWALSkippedLogs   = "grove_wal_skipped_logs_total"
+	MetricWALNextLSN       = "grove_wal_next_lsn"
 )
 
 // ioSink mirrors the column store's accounting events into registry
@@ -270,6 +280,30 @@ func (s *Store) Metrics() *MetricsRegistry {
 			out := make(map[string]float64, len(st.BlockEncodings))
 			for i, n := range st.BlockEncodings {
 				out[obs.Labels("encoding", colstore.BlockEncodingName(i))] = float64(n)
+			}
+			return out
+		})
+
+	// Write-ahead log. The families exist (at zero) even without WAL
+	// attached, so dashboards see them the moment EnableWAL turns on.
+	r.CounterFunc(MetricWALAppends, "Ops appended to the write-ahead logs (all shards).",
+		func() float64 { return float64(s.coord.WALStats().Appends) })
+	r.CounterFunc(MetricWALAppendedBytes, "Frame bytes appended to the write-ahead logs (all shards).",
+		func() float64 { return float64(s.coord.WALStats().AppendedBytes) })
+	r.CounterFunc(MetricWALFsyncs, "Fsyncs issued by the write-ahead logs; with group commit one fsync can acknowledge many appends (all shards).",
+		func() float64 { return float64(s.coord.WALStats().Fsyncs) })
+	r.CounterFunc(MetricWALReplayedOps, "Logged ops replayed atop the snapshot during Load (all shards, this store's lifetime).",
+		func() float64 { return float64(s.coord.WALStats().ReplayedOps) })
+	r.CounterFunc(MetricWALTruncations, "Log truncations: checkpoints that folded the log into a snapshot and reset it (all shards).",
+		func() float64 { return float64(s.coord.WALStats().Resets) })
+	r.CounterFunc(MetricWALSkippedLogs, "Logs ignored at Load because their header did not pin the loaded snapshot generation (stale or foreign logs).",
+		func() float64 { return float64(s.coord.WALStats().SkippedLogs) })
+	r.GaugeVecFunc(MetricWALNextLSN, "Next log sequence number per shard (0 until WAL is enabled).",
+		func() map[string]float64 {
+			st := s.coord.WALStats()
+			out := make(map[string]float64, len(st.Shards))
+			for i, sh := range st.Shards {
+				out[obs.Labels("shard", strconv.Itoa(i))] = float64(sh.NextLSN)
 			}
 			return out
 		})
